@@ -1,0 +1,151 @@
+"""Figure 2: (a) memory requirements of massive models; (b) DGX-2 cluster
+memory and bandwidth.
+
+Regenerates both tables from the Sec. 3 memory model and the hardware
+topology presets, and checks the printed values against the paper's rows
+(memory columns are binary TiB; see tests/test_analytics.py).
+"""
+
+import pytest
+
+from repro.analytics import (
+    FIG2A_ROWS,
+    activation_checkpoint_bytes,
+    awm_bytes,
+    full_activation_bytes,
+    model_states_bytes,
+    mswm_bytes,
+    transformer_params,
+)
+from repro.hardware import CLUSTER_PRESETS
+from repro.utils import Table
+from repro.utils.units import GB, TB
+
+TIB = 2**40
+GIB = 2**30
+
+
+def build_fig2a():
+    rows = []
+    for label, nl, hd, heads in FIG2A_ROWS:
+        params = transformer_params(nl, hd)
+        rows.append(
+            {
+                "params": params,
+                "layers": nl,
+                "hidden": hd,
+                "heads": heads,
+                "states_tib": model_states_bytes(params) / TIB,
+                "act_tib": full_activation_bytes(
+                    bsz=32, seq=1024, hidden_dim=hd, num_layers=nl, attn_heads=heads
+                )
+                / TIB,
+                "ckpt_tib": activation_checkpoint_bytes(
+                    bsz=32, seq=1024, hidden_dim=hd, num_layers=nl
+                )
+                / TIB,
+                "mswm_gib": mswm_bytes(hd) / GIB,
+                "awm_gib": awm_bytes(
+                    bsz=4, seq=1024, hidden_dim=hd, attn_heads=heads
+                )
+                / GIB,
+            }
+        )
+    return rows
+
+
+def build_fig2b():
+    rows = []
+    for nodes, cluster in sorted(CLUSTER_PRESETS.items()):
+        node = cluster.node
+        rows.append(
+            {
+                "nodes": nodes,
+                "gpus": cluster.num_gpus,
+                "gpu_tb": cluster.gpu_memory_bytes / TB,
+                "cpu_tb": cluster.cpu_memory_bytes / TB,
+                "nvme_tb": cluster.nvme_bytes / TB,
+                "gg_bw": cluster.gpu_to_gpu_bw() / GB,
+                "cpu_bw": node.cpu_bw_per_gpu_parallel / GB,
+                "nvme_bw": node.nvme_bw_per_gpu_parallel / GB,
+            }
+        )
+    return rows
+
+
+def test_fig2a_memory_requirements(benchmark, emit):
+    rows = benchmark(build_fig2a)
+    t = Table(
+        [
+            "params",
+            "layers",
+            "hidden",
+            "heads",
+            "states TiB",
+            "act TiB/node",
+            "ckpt TiB/node",
+            "MSWM GiB",
+            "AWM GiB",
+        ],
+        title="Figure 2a — memory requirements (bsz 32/node, 4/GPU; seq 1024)",
+    )
+    for r in rows:
+        t.add_row(
+            [
+                f"{r['params'] / 1e12:.2f}T",
+                r["layers"],
+                r["hidden"],
+                r["heads"],
+                r["states_tib"],
+                r["act_tib"],
+                r["ckpt_tib"],
+                r["mswm_gib"],
+                r["awm_gib"],
+            ]
+        )
+    emit("fig2a_memory_requirements", t.render())
+
+    # paper row checks (model states column: 1.83 ... 1845.70)
+    expected_states = [1.83, 9.16, 18.31, 182.81, 1845.70]
+    for r, exp in zip(rows, expected_states):
+        assert r["states_tib"] == pytest.approx(exp, rel=0.01)
+    expected_ckpt = [0.05, 0.12, 0.20, 0.76, 3.08]
+    for r, exp in zip(rows, expected_ckpt):
+        assert r["ckpt_tib"] == pytest.approx(exp, rel=0.1)
+
+
+def test_fig2b_cluster_table(benchmark, emit):
+    rows = benchmark(build_fig2b)
+    t = Table(
+        [
+            "nodes",
+            "GPUs",
+            "GPU TB",
+            "CPU TB",
+            "NVMe TB",
+            "GPU-GPU GB/s",
+            "CPU GB/s/GPU",
+            "NVMe GB/s/GPU",
+        ],
+        title="Figure 2b — aggregate memory and achievable bandwidth, DGX-2",
+    )
+    for r in rows:
+        t.add_row(
+            [
+                r["nodes"],
+                r["gpus"],
+                r["gpu_tb"],
+                r["cpu_tb"],
+                r["nvme_tb"],
+                r["gg_bw"],
+                r["cpu_bw"],
+                r["nvme_bw"],
+            ]
+        )
+    emit("fig2b_cluster_memory_bandwidth", t.render())
+
+    by_nodes = {r["nodes"]: r for r in rows}
+    assert by_nodes[64]["nvme_tb"] == pytest.approx(1792.0)
+    assert by_nodes[96]["cpu_tb"] == pytest.approx(144.0)
+    assert by_nodes[16]["cpu_bw"] == pytest.approx(3.0)
+    assert by_nodes[16]["nvme_bw"] == pytest.approx(1.6)

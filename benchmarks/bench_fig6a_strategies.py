@@ -1,0 +1,60 @@
+"""Figure 6a: maximum model size per device-placement strategy (Table 2)
+on a single DGX-2 node.
+
+Paper progression: data parallelism 1.4B -> ZeRO-2 / ZeRO-Offload ~13B
+(9x) -> ZeRO-3 ~20B -> ZeRO-Infinity CPU "almost 100B" -> ZeRO-Infinity
+NVMe 1T (700x total).  We solve each strategy's capacity with the Sec. 3
+memory model and assert the ordering and the headline ratios.
+"""
+
+from repro.core.config import Strategy
+from repro.core.scale import max_model_size
+from repro.hardware import dgx2_cluster
+from repro.utils import Table, ascii_bar_chart, format_count
+
+ORDER = [
+    (Strategy.DATA_PARALLEL, "1.4B", {}),
+    (Strategy.ZERO_2, "13B", {}),
+    (Strategy.ZERO_OFFLOAD, "13B", {}),
+    (Strategy.THREED, "20B", {"mp_degree": 4}),
+    (Strategy.ZERO_3, "20B", {}),
+    (Strategy.ZERO_INF_CPU, "~100B", {"tile_factor": 16}),
+    (Strategy.ZERO_INF_NVME, "1T", {"tile_factor": 16}),
+]
+
+
+def run_fig6a():
+    cluster = dgx2_cluster(1)
+    return {
+        s: max_model_size(s, cluster, bsz_per_gpu=1, **kw) for s, _, kw in ORDER
+    }
+
+
+def test_fig6a_strategy_scale(benchmark, emit):
+    results = benchmark(run_fig6a)
+    t = Table(
+        ["strategy", "max params (solved)", "paper", "limited by"],
+        title="Figure 6a — max model size per strategy, one DGX-2 (16 GPUs)",
+    )
+    for s, paper, _ in ORDER:
+        r = results[s]
+        t.add_row([str(s), format_count(r.max_params), paper, r.limiting_factor])
+    chart = ascii_bar_chart(
+        [str(s) for s, _, _ in ORDER],
+        [results[s].max_params / 1e9 for s, _, _ in ORDER],
+        title="max parameters (billions, log-ish shape)",
+        value_fmt="{:.1f}B",
+    )
+    dp = results[Strategy.DATA_PARALLEL].max_params
+    nvme = results[Strategy.ZERO_INF_NVME].max_params
+    emit(
+        "fig6a_strategy_scale",
+        f"{t.render()}\n\n{chart}\n\n"
+        f"total leap vs data parallelism: {nvme / dp:.0f}x (paper: 700x)",
+    )
+
+    assert 1.0e9 < dp < 2.5e9
+    assert 4 < results[Strategy.ZERO_2].max_params / dp < 15  # "9x"
+    assert 50e9 < results[Strategy.ZERO_INF_CPU].max_params < 110e9
+    assert nvme > 1e12
+    assert nvme / dp > 400  # "700x increase"

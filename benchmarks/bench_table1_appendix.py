@@ -1,0 +1,123 @@
+"""Tables 1 and 4-8: the experiment configurations, regenerated and checked.
+
+These tables define every workload the paper evaluates.  The bench prints
+each with the parameter count our Eq. (1) implementation derives from the
+stated (layers, hidden) pair, asserting it lands on the table's advertised
+model size — the consistency check that our model zoo drives the other
+benches with the right shapes.
+"""
+
+import pytest
+
+from repro.analytics.model_zoo import (
+    FIG6A_CONFIGS,
+    FIG6B_CONFIGS,
+    FIG6C_CONFIG,
+    FIG6C_GPU_SWEEP,
+    FIG6D_BATCH_SWEEP,
+    FIG6D_CONFIG,
+    FIG6E_CONFIGS,
+    TABLE1_CONFIGS,
+)
+from repro.utils import Table, format_count
+
+
+def build_all():
+    return {
+        "table1": list(TABLE1_CONFIGS.values()),
+        "table4": list(FIG6A_CONFIGS.values()),
+        "table5": list(FIG6B_CONFIGS.values()),
+        "table6": [FIG6C_CONFIG],
+        "table7": [FIG6D_CONFIG],
+        "table8": list(FIG6E_CONFIGS.values()),
+    }
+
+
+def _config_table(title, configs):
+    t = Table(
+        [
+            "name",
+            "nodes",
+            "GPUs",
+            "mp",
+            "layers",
+            "hidden",
+            "heads",
+            "batch/GPU",
+            "params (Eq. 1)",
+            "param dev",
+            "opt dev",
+        ],
+        title=title,
+    )
+    for c in configs:
+        t.add_row(
+            [
+                c.name,
+                c.num_nodes,
+                c.num_gpus,
+                c.mp_degree,
+                c.num_layers,
+                c.hidden_dim,
+                c.attn_heads,
+                c.batch_per_gpu,
+                format_count(c.params),
+                c.param_device.value,
+                c.optimizer_device.value,
+            ]
+        )
+    return t.render()
+
+
+# the model size each Table 1 row advertises in its name
+_T1_EXPECTED = {
+    "10B-1node": 10e9,
+    "50B-1node": 50e9,
+    "100B-1node": 100e9,
+    "0.5T-1node": 0.5e12,
+    "1T-1node": 1e12,
+    "0.5T-32node": 0.5e12,
+    "1T-32node": 1e12,
+    "5T-32node": 5e12,
+    "10T-32node": 10e12,
+    "20T-32node": 20e12,
+}
+
+
+def test_tables_1_and_4_to_8(benchmark, emit):
+    tables = benchmark(build_all)
+    sections = [
+        ("Table 1 — main experiment configurations", tables["table1"]),
+        ("Table 4 — Fig. 6a configurations", tables["table4"]),
+        ("Table 5 — Fig. 6b configurations", tables["table5"]),
+        ("Table 6 — Fig. 6c configuration"
+         f" (GPU sweep {list(FIG6C_GPU_SWEEP)})", tables["table6"]),
+        ("Table 7 — Fig. 6d configuration"
+         f" (batch sweep {list(FIG6D_BATCH_SWEEP)})", tables["table7"]),
+        ("Table 8 — Fig. 6e configurations", tables["table8"]),
+    ]
+    emit(
+        "table1_and_appendix_configs",
+        "\n\n".join(_config_table(title, cfgs) for title, cfgs in sections),
+    )
+
+    # Table 1 rows derive the sizes their names advertise
+    for name, expected in _T1_EXPECTED.items():
+        got = TABLE1_CONFIGS[name].params
+        assert got == pytest.approx(expected, rel=0.13), name
+    # Table 4's headline rows.  Eq. (1) counts only the block linears, so
+    # small models undershoot their labels (the 1.4B row's embeddings are
+    # ~20% of it); and the paper's own "70B" row computes to 100B under its
+    # stated (125, 8192) shape — we assert the Eq. (1) values.
+    assert FIG6A_CONFIGS["1.4B"].params == pytest.approx(1.13e9, rel=0.02)
+    assert FIG6A_CONFIGS["70B"].params == pytest.approx(100.7e9, rel=0.02)
+    assert FIG6A_CONFIGS["1000B"].params == pytest.approx(1e12, rel=0.05)
+    # Table 5: single-layer models at each hidden size
+    for hd, cfg in FIG6B_CONFIGS.items():
+        assert cfg.num_layers == 1 and cfg.hidden_dim == hd
+    # Tables 6/7: the 8B model
+    assert FIG6C_CONFIG.params == pytest.approx(8e9, rel=0.01)
+    assert FIG6D_CONFIG.params == pytest.approx(8e9, rel=0.01)
+    # Table 8: five hidden sizes, 5 layers each
+    assert sorted(FIG6E_CONFIGS) == [2048, 8192, 16384, 32768, 65536]
+    assert all(c.num_layers == 5 for c in FIG6E_CONFIGS.values())

@@ -1,0 +1,69 @@
+"""Table 3: bandwidth requirements for ZeRO-Infinity on future accelerators.
+
+Paper (Sec. 9): on a 512-device cluster, a V100-class device needs ~3 GB/s
+to slow memory (1.5 TB/s aggregate) and ~70 GB/s device-to-device; devices
+with 10x/100x more achievable compute need proportionally more.  We derive
+every row from the Sec. 4 efficiency model (optimizer-state bound at 90%
+efficiency, bsz 2; parameter/gradient bound at 50%, bsz 1) and assert the
+linear scaling plus the V100 anchor values.
+"""
+
+import pytest
+
+from repro.analytics import EfficiencyModel
+from repro.utils import Table
+from repro.utils.units import GB, TB
+
+MULTIPLIERS = [("V100", 1.0), ("10x", 10.0), ("100x", 100.0)]
+PAPER = {
+    "V100": {"peak": 0.07, "slow_dev": 3.0, "slow_agg": 1.5, "gg": 70.0},
+    "10x": {"peak": 0.70, "slow_dev": 30.0, "slow_agg": 15.0, "gg": 700.0},
+    "100x": {"peak": 7.00, "slow_dev": 300.0, "slow_agg": 150.0, "gg": 7000.0},
+}
+
+
+def run_table3():
+    model = EfficiencyModel()
+    return {
+        name: model.future_hardware_row(peak_multiplier=m)
+        for name, m in MULTIPLIERS
+    }
+
+
+def test_table3_future_hardware(benchmark, emit):
+    rows = benchmark(run_table3)
+    t = Table(
+        [
+            "device",
+            "peak PFlops",
+            "slow-mem GB/s/dev (paper)",
+            "slow-mem agg TB/s (paper)",
+            "dev-dev GB/s (paper)",
+        ],
+        title="Table 3 — bandwidth needs at 512 devices (derived from Eq. 6)",
+    )
+    for name, _ in MULTIPLIERS:
+        r = rows[name]
+        p = PAPER[name]
+        t.add_row(
+            [
+                name,
+                f"{r['peak_pflops_per_device']:.2f}",
+                f"{r['slow_memory_bw_per_device'] / GB:.1f} ({p['slow_dev']})",
+                f"{r['slow_memory_aggregate_bw'] / TB:.2f} ({p['slow_agg']})",
+                f"{r['gpu_to_gpu_bw'] / GB:.0f} ({p['gg']})",
+            ]
+        )
+    emit("table3_future_hw", t.render())
+
+    v100 = rows["V100"]
+    assert v100["slow_memory_bw_per_device"] == pytest.approx(3.0 * GB, rel=0.3)
+    assert v100["slow_memory_aggregate_bw"] == pytest.approx(1.5 * TB, rel=0.3)
+    assert v100["gpu_to_gpu_bw"] == pytest.approx(70 * GB, rel=0.05)
+    for name, m in MULTIPLIERS[1:]:
+        assert rows[name]["gpu_to_gpu_bw"] == pytest.approx(
+            m * v100["gpu_to_gpu_bw"]
+        )
+        assert rows[name]["slow_memory_aggregate_bw"] == pytest.approx(
+            m * v100["slow_memory_aggregate_bw"]
+        )

@@ -1,0 +1,53 @@
+"""Shared helpers for the figure/table reproduction benches.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(Sec. 8) or analysis (Secs. 3-4, 9): it computes the artifact through the
+library, renders it as text, prints it, and persists it under
+``benchmarks/reports/`` so the reproduction is inspectable after the run.
+pytest-benchmark times the underlying computation.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+reproduced figures inline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    yield REPORT_DIR
+    # index everything produced across the session for easy browsing
+    entries = sorted(
+        f for f in os.listdir(REPORT_DIR) if f.endswith(".txt")
+    )
+    with open(os.path.join(REPORT_DIR, "INDEX.md"), "w") as f:
+        f.write("# Reproduced artifacts\n\n")
+        f.write(
+            "Regenerate with `pytest benchmarks/ --benchmark-only`.\n\n"
+        )
+        for name in entries:
+            title = ""
+            with open(os.path.join(REPORT_DIR, name)) as r:
+                first = r.readline().strip()
+                title = first if first else name
+            f.write(f"- [`{name}`]({name}) — {title}\n")
+
+
+@pytest.fixture
+def emit(report_dir):
+    """emit(name, text): print a reproduced artifact and save it."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+        print(banner + text)
+        with open(os.path.join(report_dir, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return _emit

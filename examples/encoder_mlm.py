@@ -1,0 +1,82 @@
+"""Masked-LM pretraining of a BERT-style encoder under ZeRO-Infinity.
+
+The ease-of-use claim (Sec. 5.3) is that *any* architecture trains without
+engine changes.  The other examples use the GPT decoder; this one builds a
+bidirectional encoder with a masked-LM objective — different attention
+pattern, different loss, three-tensor batches — and hands it to the same
+engine with the same one-liner.
+
+Run:  python examples/encoder_mlm.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    OffloadConfig,
+    OffloadDevice,
+    ZeroConfig,
+    ZeroInfinityEngine,
+)
+from repro.nn.encoder import BertStyleEncoder, EncoderConfig
+from repro.utils.rng import seeded_rng, spawn_rngs
+from repro.workloads import MarkovCorpus
+
+WORLD = 4
+VOCAB = 96
+SEQ = 16
+
+
+def main() -> None:
+    enc_cfg = EncoderConfig(
+        num_layers=2,
+        hidden_dim=48,
+        num_heads=4,
+        vocab_size=VOCAB,
+        max_seq=SEQ,
+        mask_token=0,
+    )
+    zero_cfg = ZeroConfig(
+        world_size=WORLD,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.NVME,
+            grad_device=OffloadDevice.NVME,
+            optimizer_device=OffloadDevice.NVME,
+        ),
+        loss_scale=1.0,
+    )
+    corpus = MarkovCorpus(VOCAB, seed=11)
+    rngs = spawn_rngs(5, WORLD)
+
+    def mlm_batches():
+        out = []
+        for r in rngs:
+            ids, _ = corpus.sample(r, bsz=4, seq=SEQ)
+            ids = np.maximum(ids, 1)  # keep token 0 reserved for [MASK]
+            out.append(
+                BertStyleEncoder.apply_masking(ids, r, mask_token=0, mask_prob=0.2)
+            )
+        return out
+
+    with ZeroInfinityEngine(
+        zero_cfg,
+        model_factory=lambda: BertStyleEncoder(enc_cfg, rng=seeded_rng(0)),
+        lr=3e-3,
+    ) as engine:
+        print(
+            f"encoder: {engine.model.num_parameters():,} params,"
+            f" bidirectional attention, MLM loss, {WORLD} ranks, NVMe offload"
+        )
+        for step in range(10):
+            result = engine.train_step(mlm_batches())
+            print(f"step {step:2d}  masked-LM loss {result.mean_loss:.4f}")
+        rep = engine.report()
+        print(
+            f"\nsame engine, different architecture — zero engine changes."
+            f"\nNVMe traffic: {rep.nvme_read_bytes / 1e6:.1f} MB read,"
+            f" {rep.nvme_write_bytes / 1e6:.1f} MB written;"
+            f" {rep.gathers} gathers"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Quickstart: train a GPT model with ZeRO-Infinity on simulated hardware.
+
+Builds a small GPT-style transformer, wraps it in the ZeRO-Infinity engine
+with full NVMe offload (parameters, gradients and optimizer state all live
+in a file-backed store between uses, exactly like the real system's SSD
+spool), trains it on synthetic data across 4 simulated data-parallel ranks,
+and prints the loss curve plus a data-movement report.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    GPTModel,
+    OffloadConfig,
+    OffloadDevice,
+    TransformerConfig,
+    ZeroConfig,
+    ZeroInfinityEngine,
+)
+from repro.utils import format_bytes
+from repro.utils.rng import seeded_rng, spawn_rngs
+
+WORLD = 4  # simulated data-parallel ranks
+VOCAB = 128
+SEQ = 16
+STEPS = 10
+
+
+def main() -> None:
+    model_cfg = TransformerConfig(
+        num_layers=2,
+        hidden_dim=64,
+        num_heads=4,
+        vocab_size=VOCAB,
+        max_seq=SEQ,
+        tie_embeddings=True,  # the classic external parameter
+        activation_checkpointing=True,
+    )
+    zero_cfg = ZeroConfig(
+        world_size=WORLD,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.NVME,
+            grad_device=OffloadDevice.NVME,
+            optimizer_device=OffloadDevice.NVME,
+        ),
+        prefetch_depth=2,
+        loss_scale=1.0,
+    )
+
+    # model_factory + ZeRO stage 3 => parameters are partitioned as they
+    # are constructed (Sec. 7.2); the full model never materialises.
+    with ZeroInfinityEngine(
+        zero_cfg,
+        model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
+        lr=3e-3,
+    ) as engine:
+        print(
+            f"model: {engine.model.num_parameters():,} parameters,"
+            f" partitioned over {WORLD} ranks, spooled to"
+            f" {engine.offload.store.directory}"
+        )
+        data_rngs = spawn_rngs(seed=42, n=WORLD)
+        fixed_batches = [
+            (
+                r.integers(0, VOCAB, size=(2, SEQ)),
+                r.integers(0, VOCAB, size=(2, SEQ)),
+            )
+            for r in data_rngs
+        ]
+        for step in range(STEPS):
+            result = engine.train_step(fixed_batches)
+            print(f"step {step:2d}  loss {result.mean_loss:.4f}")
+
+        report = engine.report()
+        print("\n--- data movement ---")
+        print(f"NVMe read:    {format_bytes(report.nvme_read_bytes)}")
+        print(f"NVMe written: {format_bytes(report.nvme_write_bytes)}")
+        print(f"parameter gathers/releases: {report.gathers}/{report.releases}")
+        print(
+            f"prefetch hits: {report.prefetch_hits}"
+            f" (misses: {report.prefetch_misses})"
+        )
+        print(f"pinned staging peak: {format_bytes(report.pinned_peak_bytes)}")
+        for op, nbytes in sorted(report.comm_bytes_by_op.items()):
+            print(f"collective {op:15s} {format_bytes(nbytes)}")
+
+
+if __name__ == "__main__":
+    main()

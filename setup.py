@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has setuptools without the ``wheel`` package, so PEP 660
+editable installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,195 @@
+"""Real multi-process data parallelism (true OS-level ranks).
+
+Everything else in this repository simulates data-parallel ranks inside one
+process.  This module runs them as actual OS processes — each worker holds
+its own model replica, computes forward/backward on its own microbatch, and
+exchanges gradients with the coordinator over pipes — demonstrating that
+the functional layer's numerics are process-separable (nothing relies on
+shared Python state), the property a real MPI/NCCL deployment would need.
+
+The topology is coordinator-mediated (gather gradients -> average ->
+broadcast updated parameters), which moves the same bytes as an allreduce
+with a different schedule; numerics match :class:`DDPTrainer` exactly and
+the tests assert it.
+
+Workers are daemonic fork children with explicit request/response framing
+and timeouts, so a crashed worker fails the step loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+def _worker_main(factory_builder, seed_payload, conn) -> None:
+    """Child process: build the replica, then serve step requests."""
+    model = factory_builder()
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "step":
+                _, batch = msg
+                loss = model(*batch)
+                model.backward(1.0)
+                grads = {
+                    name: p.grad for name, p in model.named_parameters()
+                }
+                conn.send(("grads", float(loss), grads))
+            elif kind == "update":
+                _, new_state = msg
+                params = dict(model.named_parameters())
+                for name, value in new_state.items():
+                    params[name].data = value
+                    params[name].grad = None
+                conn.send(("ok",))
+            elif kind == "state":
+                conn.send(
+                    (
+                        "state",
+                        {
+                            name: p.data.copy()
+                            for name, p in model.named_parameters()
+                        },
+                    )
+                )
+            elif kind == "stop":
+                conn.send(("bye",))
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown request {kind!r}"))
+    except EOFError:  # coordinator went away
+        return
+
+
+class MultiprocessDDP:
+    """Data-parallel training across real OS processes.
+
+    Parameters
+    ----------
+    model_factory:
+        Top-level (picklable) callable returning identically initialised
+        replicas.  Must be importable from the child (no lambdas).
+    world_size:
+        Number of worker processes.
+    timeout:
+        Seconds to wait for any single worker response before failing.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable,
+        world_size: int,
+        *,
+        lr: float = 1e-3,
+        timeout: float = 60.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        self.world = world_size
+        self.timeout = timeout
+        self.lr = lr
+        method = start_method or ("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        ctx = mp.get_context(method)
+        self._conns = []
+        self._procs = []
+        for rank in range(world_size):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(model_factory, rank, child),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        # the coordinator holds the master copy + optimizer
+        from repro.optim.adam import Adam
+
+        self._master = model_factory()
+        self._opt = Adam(self._master.parameters(), lr=lr)
+        self._closed = False
+
+    # --- protocol helpers ---------------------------------------------------
+    def _recv(self, rank: int):
+        conn = self._conns[rank]
+        if not conn.poll(self.timeout):
+            raise TimeoutError(
+                f"worker {rank} did not respond within {self.timeout}s"
+                f" (alive={self._procs[rank].is_alive()})"
+            )
+        return conn.recv()
+
+    # --- training ----------------------------------------------------------
+    def train_step(self, batches: Sequence[tuple[np.ndarray, ...]]) -> list[float]:
+        if self._closed:
+            raise RuntimeError("trainer is closed")
+        if len(batches) != self.world:
+            raise ValueError(f"got {len(batches)} batches for world {self.world}")
+        for rank, batch in enumerate(batches):
+            self._conns[rank].send(("step", batch))
+        losses: list[float] = []
+        grad_sums: dict[str, np.ndarray] = {}
+        for rank in range(self.world):
+            kind, loss, grads = self._recv(rank)
+            assert kind == "grads"
+            losses.append(loss)
+            for name, g in grads.items():
+                if g is None:
+                    continue
+                acc = grad_sums.get(name)
+                grad_sums[name] = g.astype(np.float32) if acc is None else acc + g
+        # average (DDP semantics) and step the master optimizer
+        params = dict(self._master.named_parameters())
+        for name, total in grad_sums.items():
+            params[name].grad = (total / self.world).astype(
+                params[name].data.dtype
+            )
+        self._opt.step()
+        self._opt.zero_grad()
+        # broadcast the updated weights
+        new_state = {name: p.data for name, p in self._master.named_parameters()}
+        for rank in range(self.world):
+            self._conns[rank].send(("update", new_state))
+        for rank in range(self.world):
+            kind, = self._recv(rank)
+            assert kind == "ok"
+        return losses
+
+    def state_dict(self, rank: int = 0) -> dict[str, np.ndarray]:
+        """Fetch a worker's live weights (to verify synchronization)."""
+        self._conns[rank].send(("state",))
+        kind, state = self._recv(rank)
+        assert kind == "state"
+        return state
+
+    def master_state(self) -> dict[str, np.ndarray]:
+        return {n: p.data.copy() for n, p in self._master.named_parameters()}
+
+    # --- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - crash path
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "MultiprocessDDP":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,407 @@
+"""Command-line interface.
+
+Subcommands mirror the questions the paper answers:
+
+* ``repro scale``      — max trainable model size per strategy on a cluster;
+* ``repro throughput`` — simulated step time / TFLOPs for a Table 1 workload;
+* ``repro memory``     — the Sec. 3 memory profile of a model configuration;
+* ``repro efficiency`` — required bandwidths from the Sec. 4 model;
+* ``repro train-demo`` — a short functional training run with full NVMe
+  offload on simulated ranks (proof the whole stack works on this machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.utils import Table, format_bytes, format_count
+
+
+def _cmd_scale(args) -> int:
+    from repro.core.config import Strategy
+    from repro.core.scale import max_model_size
+    from repro.hardware import dgx2_cluster
+
+    cluster = dgx2_cluster(args.nodes)
+    strategies = (
+        [Strategy(args.strategy)] if args.strategy else list(Strategy)
+    )
+    t = Table(
+        ["strategy", "max params", "hidden", "layers", "limited by"],
+        title=f"Max model size on {args.nodes} DGX-2 node(s)"
+        f" ({cluster.num_gpus} GPUs)",
+    )
+    for s in strategies:
+        kw = {}
+        if s is Strategy.THREED:
+            kw["mp_degree"] = args.mp
+        if s in (Strategy.ZERO_INF_CPU, Strategy.ZERO_INF_NVME):
+            kw["tile_factor"] = args.tile_factor
+        r = max_model_size(s, cluster, bsz_per_gpu=args.batch, **kw)
+        t.add_row(
+            [
+                str(s),
+                format_count(r.max_params),
+                r.hidden_dim,
+                r.num_layers,
+                r.limiting_factor,
+            ]
+        )
+    print(t.render())
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from repro.analytics.model_zoo import TABLE1_CONFIGS
+    from repro.hardware import dgx2_cluster
+    from repro.sim import SimWorkload, StepSimulator
+    from repro.sim.step_model import policy_from_config
+
+    if args.config not in TABLE1_CONFIGS:
+        print(
+            f"unknown config {args.config!r}; choose from:"
+            f" {', '.join(sorted(TABLE1_CONFIGS))}",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = TABLE1_CONFIGS[args.config]
+    nodes = args.nodes or cfg.num_nodes
+    wl = SimWorkload.from_config(cfg, grad_accumulation_steps=args.accum)
+    b = StepSimulator(dgx2_cluster(nodes), wl, policy_from_config(cfg)).simulate()
+    t = Table(["quantity", "value"], title=f"Simulated step: {args.config} on {nodes} node(s)")
+    t.add_row(["parameters", format_count(cfg.params)])
+    t.add_row(["placement", f"params:{cfg.param_device} optimizer:{cfg.optimizer_device}"])
+    t.add_row(["grad accumulation", args.accum])
+    t.add_row(["step time", f"{b.total_time:.1f} s"])
+    t.add_row(["TFLOPs/GPU", f"{b.tflops_per_gpu:.1f}"])
+    t.add_row(["compute stream busy", f"{b.compute_time:.1f} s"])
+    t.add_row(["GPU-GPU stream busy", f"{b.gg_time:.1f} s"])
+    t.add_row(["PCIe stream busy", f"{b.cg_time:.1f} s"])
+    t.add_row(["NVMe stream busy", f"{b.nc_time:.1f} s"])
+    t.add_row(["CPU (optimizer) busy", f"{b.cpu_time:.1f} s"])
+    print(t.render())
+    if args.gantt:
+        from repro.sim import render_gantt
+
+        print("\n" + render_gantt(b.result))
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.analytics import memory_requirements
+
+    req = memory_requirements(
+        num_layers=args.layers,
+        hidden_dim=args.hidden,
+        attn_heads=args.heads,
+        bsz_per_node=args.batch * 16,
+        bsz_per_gpu=args.batch,
+        seq=args.seq,
+        ci=args.ci,
+    )
+    t = Table(
+        ["quantity", "value"],
+        title=f"Sec. 3 memory profile: nl={args.layers} hd={args.hidden}",
+    )
+    t.add_row(["parameters (Eq. 1)", format_count(req.params)])
+    t.add_row(["model states (Eq. 2)", format_bytes(req.model_states)])
+    t.add_row(["activation ckpts/node (Eq. 3)", format_bytes(req.activation_checkpoints)])
+    t.add_row(["full activations/node", format_bytes(req.full_activations)])
+    t.add_row(["MSWM per GPU (Eq. 4)", format_bytes(req.mswm)])
+    t.add_row(["AWM per GPU (Eq. 5)", format_bytes(req.awm)])
+    print(t.render())
+    return 0
+
+
+def _cmd_efficiency(args) -> int:
+    from repro.analytics import (
+        ait_activation_checkpoints,
+        ait_optimizer_states,
+        ait_param_grad,
+        required_bandwidth,
+    )
+
+    streams = {
+        "params": ait_param_grad(seq=args.seq, bsz=args.batch),
+        "optimizer": ait_optimizer_states(seq=args.seq, bsz=args.batch),
+        "activations": ait_activation_checkpoints(hidden_dim=args.hidden, ci=args.ci),
+    }
+    t = Table(
+        ["data stream", "AIT (flop/byte)", f"bw for {args.target:.0%}"],
+        title=f"Sec. 4 bandwidth requirements (seq={args.seq}, bsz={args.batch})",
+    )
+    for name, ait in streams.items():
+        bw = required_bandwidth(ait=ait, target_efficiency=args.target)
+        t.add_row([name, f"{ait:.0f}", format_bytes(int(bw)) + "/s"])
+    print(t.render())
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.autotune import recommend_config
+    from repro.hardware import dgx2_cluster
+
+    params = int(float(args.params.rstrip("BT")) * (1e12 if args.params.endswith("T") else 1e9))
+    cluster = dgx2_cluster(args.nodes)
+    try:
+        plan = recommend_config(
+            cluster,
+            params,
+            bsz_per_gpu=args.batch,
+            hidden_dim=args.hidden,
+        )
+    except ValueError as e:
+        print(f"does not fit: {e}", file=sys.stderr)
+        return 1
+    t = Table(
+        ["decision", "value"],
+        title=f"Placement plan: {format_count(params)} params on"
+        f" {args.nodes} DGX-2 node(s)",
+    )
+    t.add_row(["model shape", f"nl={plan.num_layers} hd={plan.hidden_dim}"])
+    t.add_row(["fp16 params+grads", str(plan.param_device)])
+    t.add_row(["optimizer states", str(plan.optimizer_device)])
+    t.add_row(["activation ckpts", str(plan.activation_device)])
+    t.add_row(["tiling factor", plan.tile_factor])
+    t.add_row(["min batch/GPU for 50% eff.", plan.min_batch_per_gpu])
+    t.add_row(["expected TFLOPs/GPU", f"{plan.expected_tflops_per_gpu:.1f}"])
+    print(t.render())
+    for note in plan.notes:
+        print(f"  note: {note}")
+    return 0
+
+
+def _cmd_train_demo(args) -> int:
+    from repro.core import OffloadConfig, OffloadDevice, ZeroConfig, ZeroInfinityEngine
+    from repro.nn import GPTModel, TransformerConfig
+    from repro.utils.rng import seeded_rng
+    from repro.workloads import (
+        ConstantSchedule,
+        MarkovCorpus,
+        Trainer,
+        TrainerConfig,
+        per_rank_batches,
+    )
+
+    model_cfg = TransformerConfig(
+        num_layers=2,
+        hidden_dim=args.hidden,
+        num_heads=4,
+        vocab_size=128,
+        max_seq=16,
+        activation_checkpointing=True,
+    )
+    dev = OffloadDevice(args.offload)
+    zero_cfg = ZeroConfig(
+        world_size=args.world,
+        offload=OffloadConfig(
+            param_device=dev, grad_device=dev, optimizer_device=dev
+        ),
+        loss_scale=1.0,
+    )
+    with ZeroInfinityEngine(
+        zero_cfg,
+        model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
+        lr=5e-3,
+    ) as engine:
+        data = per_rank_batches(
+            MarkovCorpus(128, seed=1),
+            world_size=args.world,
+            bsz_per_rank=2,
+            seq=16,
+            seed=2,
+        )
+        hist = Trainer(
+            engine,
+            data,
+            TrainerConfig(total_steps=args.steps, log_every=max(args.steps // 5, 1)),
+            schedule=ConstantSchedule(lr=5e-3),
+        ).fit()
+        rep = engine.report()
+        print(
+            f"\ndone: loss {hist.losses[0]:.3f} -> {hist.final_loss:.3f}"
+            f" in {hist.wall_seconds:.1f}s;"
+            f" NVMe traffic {format_bytes(rep.nvme_read_bytes + rep.nvme_write_bytes)}"
+        )
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    """Quick self-verification of every subsystem on this machine."""
+    import numpy as np
+
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name, fn):
+        try:
+            detail = fn() or ""
+            checks.append((name, True, str(detail)))
+        except Exception as e:  # noqa: BLE001 - it's a doctor
+            checks.append((name, False, f"{type(e).__name__}: {e}"))
+
+    def nvme_roundtrip():
+        from repro.nvme import TensorStore
+
+        with TensorStore() as store:
+            data = np.arange(10_000, dtype=np.float32)
+            store.write("probe", data)
+            assert np.array_equal(store.read("probe"), data)
+        return "async file I/O round-trips bitwise"
+
+    def gradcheck():
+        from repro.nn import Linear
+        from repro.utils.rng import seeded_rng
+
+        lin = Linear(4, 3, rng=seeded_rng(0))
+        for p in lin.parameters():
+            p.data = p.data.astype(np.float64)
+        x = seeded_rng(1).standard_normal((2, 4))
+        y = lin(x)
+        lin.backward(np.ones_like(y))
+        eps, idx = 1e-6, (0, 0)
+        w = lin.weight
+        orig = w.data[idx]
+        w.data[idx] = orig + eps
+        lp = float(lin(x).sum())
+        w.data[idx] = orig - eps
+        lm = float(lin(x).sum())
+        w.data[idx] = orig
+        num = (lp - lm) / (2 * eps)
+        assert abs(w.grad[idx] - num) < 1e-6
+        return "autograd matches finite differences"
+
+    def engine_equivalence():
+        from repro.baselines import DDPTrainer
+        from repro.core import (
+            OffloadConfig,
+            OffloadDevice,
+            ZeroConfig,
+            ZeroInfinityEngine,
+        )
+        from repro.nn import GPTModel, TransformerConfig
+        from repro.utils.rng import seeded_rng, spawn_rngs
+
+        def f():
+            return GPTModel(
+                TransformerConfig(
+                    num_layers=1, hidden_dim=16, num_heads=2, vocab_size=32, max_seq=8
+                ),
+                rng=seeded_rng(0),
+            )
+
+        rngs = spawn_rngs(1, 2)
+        b = [
+            (r.integers(0, 32, (1, 8)), r.integers(0, 32, (1, 8))) for r in rngs
+        ]
+        ref = float(np.mean(DDPTrainer(f, 2, lr=1e-2).train_step(b)))
+        cfg = ZeroConfig(
+            world_size=2,
+            offload=OffloadConfig(
+                param_device=OffloadDevice.NVME,
+                optimizer_device=OffloadDevice.NVME,
+            ),
+            loss_scale=1.0,
+        )
+        with ZeroInfinityEngine(cfg, model_factory=f, lr=1e-2) as eng:
+            got = eng.train_step(b).mean_loss
+        assert abs(got - ref) < 1e-4
+        return f"ZeRO-3+NVMe loss {got:.6f} == DDP {ref:.6f}"
+
+    def simulator():
+        from repro.core.config import Strategy
+        from repro.hardware import dgx2_cluster
+        from repro.sim import SimWorkload, StepSimulator, policy_for_strategy
+
+        wl = SimWorkload(
+            params=int(8e9), num_layers=10, hidden_dim=8192, attn_heads=16,
+            batch_per_gpu=2,
+        )
+        b = StepSimulator(
+            dgx2_cluster(4), wl, policy_for_strategy(Strategy.ZERO_INF_NVME)
+        ).simulate()
+        assert 0 < b.tflops_per_gpu < 70
+        return f"modeled {b.tflops_per_gpu:.1f} TFlops/GPU for an 8B NVMe run"
+
+    check("nvme", nvme_roundtrip)
+    check("autograd", gradcheck)
+    check("zero-engine", engine_equivalence)
+    check("simulator", simulator)
+
+    width = max(len(n) for n, _, _ in checks)
+    ok = True
+    for name, passed, detail in checks:
+        status = "ok  " if passed else "FAIL"
+        ok = ok and passed
+        print(f"[{status}] {name.ljust(width)}  {detail}")
+    print("\nall systems nominal" if ok else "\nproblems found", flush=True)
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="ZeRO-Infinity reproduction toolkit"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("scale", help="max model size per strategy")
+    s.add_argument("--nodes", type=int, default=1)
+    s.add_argument("--strategy", type=str, default=None)
+    s.add_argument("--batch", type=int, default=1)
+    s.add_argument("--mp", type=int, default=4)
+    s.add_argument("--tile-factor", type=int, default=16)
+    s.set_defaults(fn=_cmd_scale)
+
+    s = sub.add_parser("throughput", help="simulate a Table 1 workload")
+    s.add_argument("--config", type=str, required=True)
+    s.add_argument("--nodes", type=int, default=None)
+    s.add_argument("--accum", type=int, default=1)
+    s.add_argument("--gantt", action="store_true", help="render the timeline")
+    s.set_defaults(fn=_cmd_throughput)
+
+    s = sub.add_parser("memory", help="Sec. 3 memory profile")
+    s.add_argument("--layers", type=int, required=True)
+    s.add_argument("--hidden", type=int, required=True)
+    s.add_argument("--heads", type=int, default=16)
+    s.add_argument("--batch", type=int, default=2)
+    s.add_argument("--seq", type=int, default=1024)
+    s.add_argument("--ci", type=int, default=1)
+    s.set_defaults(fn=_cmd_memory)
+
+    s = sub.add_parser("efficiency", help="Sec. 4 bandwidth requirements")
+    s.add_argument("--seq", type=int, default=1024)
+    s.add_argument("--batch", type=int, default=2)
+    s.add_argument("--hidden", type=int, default=8192)
+    s.add_argument("--ci", type=int, default=1)
+    s.add_argument("--target", type=float, default=0.5)
+    s.set_defaults(fn=_cmd_efficiency)
+
+    s = sub.add_parser("doctor", help="self-verify every subsystem")
+    s.set_defaults(fn=_cmd_doctor)
+
+    s = sub.add_parser("plan", help="recommend placements for a model size")
+    s.add_argument("--params", type=str, required=True, help="e.g. 100B or 1T")
+    s.add_argument("--nodes", type=int, default=1)
+    s.add_argument("--batch", type=int, default=2)
+    s.add_argument("--hidden", type=int, default=None)
+    s.set_defaults(fn=_cmd_plan)
+
+    s = sub.add_parser("train-demo", help="short functional training run")
+    s.add_argument("--world", type=int, default=4)
+    s.add_argument("--steps", type=int, default=10)
+    s.add_argument("--hidden", type=int, default=64)
+    s.add_argument(
+        "--offload", type=str, default="nvme", choices=["gpu", "cpu", "nvme"]
+    )
+    s.set_defaults(fn=_cmd_train_demo)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Simulated data-parallel communication.
+
+Collectives execute functionally over per-rank numpy buffers in a single
+process (loop-over-ranks), so their numerics are real and testable; a
+:class:`CommStats` ledger records the data-movement volume of every call so
+tests and benches can verify the paper's volume arithmetic (e.g. broadcast
+and allgather move the same bytes — Sec. 6.1).  Alpha-beta cost models for
+the same collectives live in :mod:`repro.comm.cost` and feed the performance
+simulator.
+"""
+
+from repro.comm.group import CommStats, ProcessGroup
+from repro.comm.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    gather,
+    reduce_scatter,
+    scatter,
+)
+from repro.comm.cost import (
+    CollectiveCostModel,
+    HierarchicalCostModel,
+    ring_allgather_time,
+    ring_reduce_scatter_time,
+)
+
+__all__ = [
+    "CommStats",
+    "ProcessGroup",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "broadcast",
+    "gather",
+    "reduce_scatter",
+    "scatter",
+    "CollectiveCostModel",
+    "HierarchicalCostModel",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+]

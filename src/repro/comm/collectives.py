@@ -1,0 +1,137 @@
+"""Functional collectives over per-rank numpy buffers.
+
+Each function takes (and returns) a list indexed by rank and computes the
+exact result the corresponding MPI/NCCL collective would produce.  They are
+pure (inputs are never mutated) and shape-checked, because partition bugs in
+ZeRO engines almost always surface as silent shape/ordering mistakes here.
+
+Following the mpi4py convention for buffer collectives, inputs must be numpy
+arrays; ragged shard sizes are allowed where the real collectives allow them
+(``allgather`` of unequal shards mirrors ``Allgatherv``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _check_world(buffers: Sequence[np.ndarray]) -> int:
+    if not buffers:
+        raise ValueError("collective needs at least one rank")
+    return len(buffers)
+
+
+def broadcast(buffers: Sequence[np.ndarray | None], root: int) -> list[np.ndarray]:
+    """Every rank receives a copy of the root's buffer."""
+    world = len(buffers)
+    if not 0 <= root < world:
+        raise ValueError(f"root {root} out of range for world {world}")
+    src = buffers[root]
+    if src is None:
+        raise ValueError("root buffer must not be None")
+    return [src.copy() for _ in range(world)]
+
+
+def allgather(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Every rank receives the rank-order concatenation of all shards.
+
+    Shards may be unequal length (Allgatherv semantics); each is flattened.
+    """
+    _check_world(shards)
+    full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
+    return [full.copy() for _ in range(len(shards))]
+
+
+def gather(shards: Sequence[np.ndarray], root: int) -> list[np.ndarray | None]:
+    """Root receives the concatenation; other ranks receive ``None``."""
+    world = _check_world(shards)
+    if not 0 <= root < world:
+        raise ValueError(f"root {root} out of range for world {world}")
+    full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
+    return [full if r == root else None for r in range(world)]
+
+
+def scatter(full: np.ndarray, world: int, root: int = 0) -> list[np.ndarray]:
+    """Split the root's buffer into ``world`` equal shards, one per rank."""
+    flat = np.asarray(full).reshape(-1)
+    if flat.size % world:
+        raise ValueError(
+            f"scatter requires size divisible by world: {flat.size} % {world}"
+        )
+    shard = flat.size // world
+    return [flat[r * shard : (r + 1) * shard].copy() for r in range(world)]
+
+
+def allreduce(
+    buffers: Sequence[np.ndarray], *, op: str = "sum", accum_dtype=np.float32
+) -> list[np.ndarray]:
+    """Every rank receives the elementwise reduction of all buffers.
+
+    Reduction accumulates in ``accum_dtype`` then casts back — matching
+    NCCL's behaviour for fp16 allreduce where accumulation error would
+    otherwise destroy convergence.
+    """
+    world = _check_world(buffers)
+    shape = buffers[0].shape
+    for b in buffers:
+        if b.shape != shape:
+            raise ValueError("allreduce buffers must share a shape")
+    acc = np.zeros(shape, dtype=accum_dtype)
+    for b in buffers:
+        acc += b.astype(accum_dtype, copy=False)
+    if op == "sum":
+        pass
+    elif op == "mean":
+        acc /= world
+    elif op == "max":
+        acc = np.maximum.reduce(
+            [b.astype(accum_dtype, copy=False) for b in buffers]
+        )
+    else:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    out_dtype = buffers[0].dtype
+    return [acc.astype(out_dtype) for _ in range(world)]
+
+
+def reduce_scatter(
+    buffers: Sequence[np.ndarray], *, op: str = "sum", accum_dtype=np.float32
+) -> list[np.ndarray]:
+    """Rank ``r`` receives shard ``r`` of the elementwise reduction.
+
+    Buffers are flattened; their length must divide evenly by the world
+    size (callers pad with :func:`repro.tensor.flat.pad_to_multiple`).
+    """
+    world = _check_world(buffers)
+    flats = [np.asarray(b).reshape(-1) for b in buffers]
+    n = flats[0].size
+    for f in flats:
+        if f.size != n:
+            raise ValueError("reduce_scatter buffers must share a size")
+    if n % world:
+        raise ValueError(f"reduce_scatter needs size % world == 0: {n} % {world}")
+    acc = np.zeros(n, dtype=accum_dtype)
+    for f in flats:
+        acc += f.astype(accum_dtype, copy=False)
+    if op == "mean":
+        acc /= world
+    elif op != "sum":
+        raise ValueError(f"unsupported reduction op {op!r}")
+    shard = n // world
+    out_dtype = flats[0].dtype
+    return [
+        acc[r * shard : (r + 1) * shard].astype(out_dtype) for r in range(world)
+    ]
+
+
+def alltoall(matrix: Sequence[Sequence[np.ndarray]]) -> list[list[np.ndarray]]:
+    """``out[j][i] = in[i][j]``: rank i sends ``matrix[i][j]`` to rank j."""
+    world = len(matrix)
+    for row in matrix:
+        if len(row) != world:
+            raise ValueError("alltoall requires a square send matrix")
+    return [
+        [np.asarray(matrix[i][j]).copy() for i in range(world)]
+        for j in range(world)
+    ]

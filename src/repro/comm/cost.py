@@ -1,0 +1,115 @@
+"""Alpha-beta cost models for collectives.
+
+The performance simulator charges time for each collective using standard
+ring-algorithm models: a ring step count of ``p - 1`` with per-step latency
+``alpha`` and a bandwidth term proportional to ``(p-1)/p`` of the payload.
+These are the same first-order models the paper's Sec. 6.1 reasoning relies
+on (broadcast and allgather cost the same when data starts on GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.devices import LinkSpec
+
+
+def ring_allgather_time(
+    payload_bytes: float, world: int, link: LinkSpec
+) -> float:
+    """Time for each rank to end with the full ``payload_bytes`` buffer."""
+    if world <= 1:
+        return 0.0
+    steps = world - 1
+    per_step = payload_bytes / world
+    return steps * (link.latency_s + per_step / link.bandwidth)
+
+
+def ring_reduce_scatter_time(
+    payload_bytes: float, world: int, link: LinkSpec
+) -> float:
+    """Time to reduce a ``payload_bytes`` buffer, scattering shards."""
+    return ring_allgather_time(payload_bytes, world, link)
+
+
+def ring_allreduce_time(payload_bytes: float, world: int, link: LinkSpec) -> float:
+    """Reduce-scatter followed by allgather."""
+    return 2.0 * ring_allgather_time(payload_bytes, world, link)
+
+
+def broadcast_time(payload_bytes: float, world: int, link: LinkSpec) -> float:
+    """Pipelined ring broadcast: same wire time as allgather (Sec. 6.1)."""
+    return ring_allgather_time(payload_bytes, world, link)
+
+
+@dataclass(frozen=True)
+class HierarchicalCostModel:
+    """Two-level collectives over a node-structured cluster.
+
+    A hierarchical allgather runs in two phases — an inter-node ring among
+    per-node leaders, then an intra-node ring over NVLink.  Its bandwidth
+    term matches the flat ring's (rings are bandwidth-optimal), but its
+    latency is ``O(nodes + gpus_per_node)`` alpha terms instead of the flat
+    ring's ``O(nodes * gpus_per_node)`` — decisive for the many small
+    per-layer allgathers a ZeRO-3 step issues, where the flat ring is
+    latency-bound at hundreds of GPUs.
+    """
+
+    intra: LinkSpec
+    inter: LinkSpec
+    gpus_per_node: int
+    nodes: int
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0 or self.nodes <= 0:
+            raise ValueError("gpus_per_node and nodes must be positive")
+
+    @property
+    def world(self) -> int:
+        return self.gpus_per_node * self.nodes
+
+    def flat_allgather(self, payload_bytes: float) -> float:
+        """Single ring across all GPUs, paced by the slowest link."""
+        slowest = min(self.intra.bandwidth, self.inter.bandwidth)
+        link = LinkSpec("flat", slowest, max(self.intra.latency_s, self.inter.latency_s))
+        return ring_allgather_time(payload_bytes, self.world, link)
+
+    def allgather(self, payload_bytes: float) -> float:
+        """Two-phase hierarchical allgather of a ``payload_bytes`` result.
+
+        Phase 1: node leaders ring-allgather the per-node fraction over the
+        fabric.  Phase 2: each node internally allgathers the full payload
+        over NVLink.  Single-node degenerates to the intra ring.
+        """
+        if self.nodes == 1:
+            return ring_allgather_time(payload_bytes, self.gpus_per_node, self.intra)
+        inter = ring_allgather_time(payload_bytes, self.nodes, self.inter)
+        intra = ring_allgather_time(payload_bytes, self.gpus_per_node, self.intra)
+        return inter + intra
+
+    def reduce_scatter(self, payload_bytes: float) -> float:
+        """Mirror image of :meth:`allgather` (intra first, then inter)."""
+        return self.allgather(payload_bytes)
+
+    def allreduce(self, payload_bytes: float) -> float:
+        return 2.0 * self.allgather(payload_bytes)
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Cost model bound to a link and world size."""
+
+    link: LinkSpec
+    world: int
+
+    def allgather(self, payload_bytes: float) -> float:
+        return ring_allgather_time(payload_bytes, self.world, self.link)
+
+    def reduce_scatter(self, payload_bytes: float) -> float:
+        return ring_reduce_scatter_time(payload_bytes, self.world, self.link)
+
+    def allreduce(self, payload_bytes: float) -> float:
+        return ring_allreduce_time(payload_bytes, self.world, self.link)
+
+    def broadcast(self, payload_bytes: float) -> float:
+        return broadcast_time(payload_bytes, self.world, self.link)

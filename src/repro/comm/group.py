@@ -1,0 +1,112 @@
+"""Process-group facade with data-movement accounting.
+
+:class:`ProcessGroup` wraps the functional collectives and records, per
+collective type, how many bytes crossed device boundaries.  Volume accounting
+follows the standard ring-algorithm convention used by the paper's Sec. 6.1
+argument (broadcast and allgather move the same volume): for a payload of
+``n`` bytes over ``p`` ranks,
+
+* broadcast / allgather / reduce-scatter move ``(p-1)/p * n`` per rank,
+* allreduce moves ``2(p-1)/p * n`` per rank (reduce-scatter + allgather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm import collectives as C
+
+
+@dataclass
+class CommStats:
+    """Byte and call counters per collective, across the whole group."""
+
+    bytes_by_op: dict[str, int] = field(default_factory=dict)
+    calls_by_op: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, nbytes: int) -> None:
+        self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
+        self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_op.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls_by_op.values())
+
+    def reset(self) -> None:
+        self.bytes_by_op.clear()
+        self.calls_by_op.clear()
+
+
+class ProcessGroup:
+    """A simulated communicator over ``world_size`` in-process ranks."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        self.world_size = world_size
+        self.stats = CommStats()
+
+    def _per_rank_ring_volume(self, payload_bytes: int) -> int:
+        p = self.world_size
+        return int(payload_bytes * (p - 1) / p)
+
+    # --- collectives -----------------------------------------------------------
+    def broadcast(
+        self, buffers: Sequence[np.ndarray | None], root: int = 0
+    ) -> list[np.ndarray]:
+        out = C.broadcast(buffers, root)
+        self.stats.record(
+            "broadcast", self._per_rank_ring_volume(out[0].nbytes) * self.world_size
+        )
+        return out
+
+    def allgather(self, shards: Sequence[np.ndarray]) -> list[np.ndarray]:
+        out = C.allgather(shards)
+        self.stats.record(
+            "allgather", self._per_rank_ring_volume(out[0].nbytes) * self.world_size
+        )
+        return out
+
+    def reduce_scatter(
+        self, buffers: Sequence[np.ndarray], *, op: str = "sum"
+    ) -> list[np.ndarray]:
+        out = C.reduce_scatter(buffers, op=op)
+        self.stats.record(
+            "reduce_scatter",
+            self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
+        )
+        return out
+
+    def allreduce(
+        self, buffers: Sequence[np.ndarray], *, op: str = "sum"
+    ) -> list[np.ndarray]:
+        out = C.allreduce(buffers, op=op)
+        self.stats.record(
+            "allreduce",
+            2 * self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
+        )
+        return out
+
+    def gather(
+        self, shards: Sequence[np.ndarray], root: int = 0
+    ) -> list[np.ndarray | None]:
+        out = C.gather(shards, root)
+        payload = sum(int(np.asarray(s).nbytes) for s in shards)
+        self.stats.record("gather", payload)
+        return out
+
+    def scatter(self, full: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        out = C.scatter(full, self.world_size, root)
+        self.stats.record("scatter", int(np.asarray(full).nbytes))
+        return out
+
+    def barrier(self) -> None:
+        """No-op in a single-process simulation; kept for API parity."""
+        self.stats.record("barrier", 0)

@@ -1,0 +1,100 @@
+"""Activation checkpoint offload targets (Sec. 5.1.2 + Sec. 8.2 future work).
+
+:class:`CPUActivationOffloader` copies checkpoints into CPU-tagged,
+ledger-accounted buffers — the paper's shipped design.
+:class:`NVMeActivationOffloader` spools them through the tensor store with
+asynchronous writes — the improvement Sec. 8.2 names for the 20T case
+("offloading activation checkpoints to NVMe in a future implementation"):
+the write overlaps the remaining forward compute and the read is awaited at
+the start of the block's backward.
+
+``install_activation_offload`` wires an offloader into every
+:class:`~repro.nn.checkpoint.CheckpointedBlock` of a model; the engine calls
+it when ``OffloadConfig.activation_device`` is CPU or NVMe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import OffloadDevice
+from repro.hardware.memory import MemoryLedger
+from repro.nn.checkpoint import ActivationOffloader, CheckpointedBlock
+from repro.nn.module import Module
+from repro.nvme.store import TensorStore
+
+
+class CPUActivationOffloader(ActivationOffloader):
+    """Checkpoints live in host memory between forward and backward."""
+
+    # inherits save/load; exists for symmetry and explicit naming
+
+
+class NVMeActivationOffloader(ActivationOffloader):
+    """Checkpoints spool to the NVMe tensor store asynchronously."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self, store: TensorStore, *, ledger: Optional[MemoryLedger] = None
+    ) -> None:
+        super().__init__(ledger)
+        self.store = store
+        self._uid = next(self._ids)
+        self._seq = 0
+
+    def save(self, array: np.ndarray) -> object:
+        key = f"act.{self._uid}.{self._seq}"
+        self._seq += 1
+        self.bytes_offloaded += array.nbytes
+        # async write: overlaps the rest of the forward pass; the handle is
+        # retained so load() can synchronise before reading
+        req = self.store.write_async(key, array)
+        return (key, req)
+
+    def load(self, handle: object) -> np.ndarray:
+        key, req = handle  # type: ignore[misc]
+        req.wait()
+        out = self.store.read(key)
+        self.bytes_restored += out.nbytes
+        self.store.delete(key)  # checkpoints are single-use
+        return out
+
+
+def install_activation_offload(
+    model: Module,
+    device: OffloadDevice,
+    *,
+    store: Optional[TensorStore] = None,
+    ledger: Optional[MemoryLedger] = None,
+) -> list[ActivationOffloader]:
+    """Attach an offloader per CheckpointedBlock; returns the offloaders.
+
+    Raises when NVMe placement is requested without a store, or when the
+    model has no checkpointed blocks to offload (a configuration mistake
+    worth failing loudly on).
+    """
+    if device is OffloadDevice.NONE:
+        return []
+    blocks = [m for m in model.modules() if isinstance(m, CheckpointedBlock)]
+    if not blocks:
+        raise ValueError(
+            "activation offload configured but the model has no"
+            " CheckpointedBlock (enable activation_checkpointing)"
+        )
+    offloaders: list[ActivationOffloader] = []
+    for block in blocks:
+        if device is OffloadDevice.CPU:
+            off = CPUActivationOffloader(ledger)
+        elif device is OffloadDevice.NVME:
+            if store is None:
+                raise ValueError("NVMe activation offload requires a tensor store")
+            off = NVMeActivationOffloader(store, ledger=ledger)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unsupported activation device {device}")
+        block.offloader = off
+        offloaders.append(off)
+    return offloaders

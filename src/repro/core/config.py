@@ -1,0 +1,171 @@
+"""Configuration for ZeRO stages, offload placement, and strategies.
+
+:class:`Strategy` enumerates the rows of the paper's Table 2 — the device
+placement and partitioning options compared in Fig. 6a — and
+``STRATEGY_PRESETS`` maps each to a concrete :class:`ZeroConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum, IntEnum
+from typing import Optional
+
+from repro.utils.units import GB
+
+
+class ZeroStage(IntEnum):
+    """Which model states are partitioned (Sec. 2, 'ZeRO' background)."""
+
+    NONE = 0  # classic data parallelism: everything replicated
+    OPTIMIZER = 1  # ZeRO-1: optimizer states partitioned
+    GRADIENTS = 2  # ZeRO-2: + gradients partitioned
+    PARAMETERS = 3  # ZeRO-3: + parameters partitioned
+
+
+class OffloadDevice(str, Enum):
+    """Where a partitioned model state lives between uses."""
+
+    NONE = "gpu"  # stays in GPU memory
+    CPU = "cpu"
+    NVME = "nvme"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value
+
+
+@dataclass(frozen=True)
+class OffloadConfig:
+    """Placement of the three model states plus staging-buffer budgets."""
+
+    param_device: OffloadDevice = OffloadDevice.NONE
+    grad_device: OffloadDevice = OffloadDevice.NONE
+    optimizer_device: OffloadDevice = OffloadDevice.NONE
+    activation_device: OffloadDevice = OffloadDevice.NONE  # checkpoint offload
+    pinned_budget_bytes: int = 2 * GB  # pinned staging pool (Sec. 6.3)
+    nvme_dir: Optional[str] = None  # spool directory; temp dir when None
+    optimizer_chunk_numel: int = 1 << 20  # NVMe optimizer streaming chunk
+
+    @property
+    def any_nvme(self) -> bool:
+        return OffloadDevice.NVME in (
+            self.param_device,
+            self.grad_device,
+            self.optimizer_device,
+            self.activation_device,
+        )
+
+
+@dataclass(frozen=True)
+class ZeroConfig:
+    """Full engine configuration."""
+
+    world_size: int = 1
+    stage: ZeroStage = ZeroStage.PARAMETERS
+    offload: OffloadConfig = field(default_factory=OffloadConfig)
+    # Bandwidth-centric partitioning (Sec. 6.1): True = every parameter is
+    # sharded over all ranks and retrieved by allgather; False = each
+    # parameter has a single owner rank that broadcasts it (ZeRO/
+    # ZeRO-Offload style), which serialises slow-memory reads on one link.
+    bandwidth_centric: bool = True
+    # Overlap-centric design (Sec. 6.2).
+    prefetch_depth: int = 2  # 0 disables prefetching
+    overlap_comm: bool = True
+    # Gradient reduction: "mean" matches DDP gradient averaging.
+    reduce_op: str = "mean"
+    grad_accum_dtype: str = "fp32"
+    # Mixed precision.
+    master_dtype: str = "fp32"
+    loss_scale: Optional[float] = None  # None => dynamic scaling
+    # Memory-centric tiling default applied by the engine to oversized linears.
+    tile_linear_threshold_numel: Optional[int] = None
+    tile_factor: int = 1
+    # Parameter persistence: tensors at or below this element count stay
+    # replicated instead of partitioned (DeepSpeed's
+    # stage3_param_persistence_threshold) — small biases and norms are not
+    # worth an allgather each use.  0 partitions everything.
+    param_persistence_threshold_numel: int = 0
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative")
+        if self.reduce_op not in ("mean", "sum"):
+            raise ValueError("reduce_op must be 'mean' or 'sum'")
+        if self.stage < ZeroStage.PARAMETERS:
+            if self.offload.param_device is not OffloadDevice.NONE:
+                raise ValueError(
+                    "parameter offload requires ZeRO stage 3 (parameters"
+                    " must be partitioned before they can be offloaded)"
+                )
+        if self.tile_factor < 1:
+            raise ValueError("tile_factor must be >= 1")
+        if self.param_persistence_threshold_numel < 0:
+            raise ValueError("param_persistence_threshold_numel must be >= 0")
+
+
+class Strategy(str, Enum):
+    """Table 2 rows: named placement + partitioning strategies."""
+
+    DATA_PARALLEL = "data-parallel"
+    ZERO_2 = "zero-2"
+    ZERO_OFFLOAD = "zero-offload"
+    THREED = "3d-parallelism"
+    ZERO_3 = "zero-3"
+    ZERO_INF_CPU = "zero-inf-cpu"
+    ZERO_INF_NVME = "zero-inf-nvme"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value
+
+
+def _preset(stage: ZeroStage, offload: OffloadConfig, **kw) -> ZeroConfig:
+    return ZeroConfig(stage=stage, offload=offload, **kw)
+
+
+#: Concrete engine configs per Table 2 strategy (3D parallelism is a
+#: baseline cost model, not an engine config — see repro.baselines.threed).
+STRATEGY_PRESETS: dict[Strategy, ZeroConfig] = {
+    Strategy.DATA_PARALLEL: _preset(
+        ZeroStage.NONE, OffloadConfig(), bandwidth_centric=False
+    ),
+    Strategy.ZERO_2: _preset(ZeroStage.GRADIENTS, OffloadConfig()),
+    Strategy.ZERO_OFFLOAD: _preset(
+        ZeroStage.GRADIENTS,
+        OffloadConfig(
+            grad_device=OffloadDevice.CPU, optimizer_device=OffloadDevice.CPU
+        ),
+        bandwidth_centric=False,
+    ),
+    Strategy.ZERO_3: _preset(ZeroStage.PARAMETERS, OffloadConfig()),
+    Strategy.ZERO_INF_CPU: _preset(
+        ZeroStage.PARAMETERS,
+        OffloadConfig(
+            param_device=OffloadDevice.CPU,
+            grad_device=OffloadDevice.CPU,
+            optimizer_device=OffloadDevice.CPU,
+        ),
+    ),
+    Strategy.ZERO_INF_NVME: _preset(
+        ZeroStage.PARAMETERS,
+        OffloadConfig(
+            param_device=OffloadDevice.NVME,
+            grad_device=OffloadDevice.NVME,
+            optimizer_device=OffloadDevice.NVME,
+        ),
+    ),
+}
+
+
+def config_for_strategy(
+    strategy: Strategy, *, world_size: int, **overrides
+) -> ZeroConfig:
+    """A :class:`ZeroConfig` for a Table 2 strategy at a given world size."""
+    if strategy is Strategy.THREED:
+        raise ValueError(
+            "3D parallelism is modeled by repro.baselines.threed, not by the"
+            " ZeRO engine"
+        )
+    base = STRATEGY_PRESETS[strategy]
+    return replace(base, world_size=world_size, **overrides)

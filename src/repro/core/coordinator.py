@@ -1,0 +1,243 @@
+"""Automated data movement via module hooks (Sec. 7.1).
+
+The coordinator "recursively injects hooks into the submodules of a model":
+
+* **forward-pre**: make the submodule's parameters resident (allgather),
+  blocking until available — after notifying the prefetcher so lookahead
+  fetches for future submodules are already in flight;
+* **forward-post**: re-partition (release) the parameters;
+* **backward-pre**: gather again for the backward computation;
+* **backward-post**: release, and harvest the produced gradients.
+
+Gradient harvesting runs per rank: each simulated rank's backward leaves
+full gradients on the module's parameters; the coordinator banks them and,
+once every rank has contributed, reduce-scatters across ranks and hands each
+rank's shard to the offload engine (ZeRO-2+; ZeRO-0/1 allreduce instead and
+keep full gradients).  Parameters shared across modules (external/tied
+parameters) accumulate gradients from several submodules, so their harvest
+is deferred to the end-of-backward sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+from repro.core.config import ZeroConfig, ZeroStage
+from repro.core.offload import InfinityOffloadEngine
+from repro.core.partition import ParameterPartitioner
+from repro.core.prefetch import DynamicPrefetcher
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter, PartitionState
+from repro.tensor.flat import pad_to_multiple
+
+
+@dataclass
+class CoordinatorStats:
+    gathers: int = 0
+    releases: int = 0
+    grad_reductions: int = 0
+
+
+class ParameterCoordinator:
+    """Installs and services the four hook points on every leaf module."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: ZeroConfig,
+        *,
+        partitioner: ParameterPartitioner,
+        offload: InfinityOffloadEngine,
+        comm: ProcessGroup,
+        prefetcher: Optional[DynamicPrefetcher] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.partitioner = partitioner
+        self.offload = offload
+        self.comm = comm
+        self.prefetcher = prefetcher
+        self.stats = CoordinatorStats()
+        from repro.core.external import ExternalParameterRegistry
+
+        self.external_registry = ExternalParameterRegistry()
+        self.current_rank = 0
+        self._removers: list[Callable[[], None]] = []
+        # param id -> list of per-rank full gradients awaiting reduction
+        self._pending_grads: dict[int, list[Optional[np.ndarray]]] = {}
+        self._params_by_id: dict[int, Parameter] = {}
+        self._shared_param_ids: set[int] = set()
+        self._grad_handles: list = []  # in-flight async grad offload writes
+        # gradient accumulation (Sec. 8 workloads use multi-microbatch
+        # steps): when accumulating, reduced gradients add onto the previous
+        # rounds' instead of replacing them
+        self.accumulating = False
+        self._full_grad_accum: dict[int, np.ndarray] = {}
+        # grad-shard keys written during the current accumulation window;
+        # guards against merging with stale shards from a previous step
+        self._accum_seen: set[str] = set()
+        self._install()
+
+    # --- installation ----------------------------------------------------------
+    def _install(self) -> None:
+        owners: dict[int, int] = {}
+        for module in self.model.modules():
+            direct = module.direct_parameters()
+            if not direct:
+                continue
+            for p in direct:
+                owners[p.unique_id] = owners.get(p.unique_id, 0) + 1
+                self._params_by_id[p.unique_id] = p
+            self._removers.append(
+                module.register_forward_pre_hook(self._pre_forward)
+            )
+            self._removers.append(module.register_forward_hook(self._post_forward))
+            self._removers.append(
+                module.register_backward_pre_hook(self._pre_backward)
+            )
+            self._removers.append(module.register_backward_hook(self._post_backward))
+        self._shared_param_ids = {pid for pid, n in owners.items() if n > 1}
+
+    def remove_hooks(self) -> None:
+        for remove in self._removers:
+            remove()
+        self._removers.clear()
+
+    # --- gather/release helpers ------------------------------------------------
+    def _gather_module(self, module: Module) -> None:
+        for p in module.direct_parameters():
+            if p.state is PartitionState.PARTITIONED:
+                self.partitioner.gather(p)
+                self.stats.gathers += 1
+
+    def _release_module(self, module: Module) -> None:
+        for p in module.direct_parameters():
+            if p.zero_meta is not None and p.state is PartitionState.AVAILABLE:
+                self.partitioner.release(p)
+                self.stats.releases += 1
+
+    # --- hooks ----------------------------------------------------------------
+    def _pre_forward(self, module: Module, args) -> None:
+        if self.prefetcher is not None:
+            self.prefetcher.on_execute(module, "fwd")
+        self._gather_module(module)
+
+    def _post_forward(self, module: Module, args, output):
+        self._release_module(module)
+        return None
+
+    def _pre_backward(self, module: Module, grad_output) -> None:
+        if self.prefetcher is not None:
+            self.prefetcher.on_execute(module, "bwd")
+        self._gather_module(module)
+
+    def _post_backward(self, module: Module, grad_input) -> None:
+        self._release_module(module)
+        for p in module.direct_parameters():
+            if p.unique_id in self._shared_param_ids:
+                continue  # grads still accumulating from other owners
+            self._harvest(p)
+
+    # --- gradient harvesting ------------------------------------------------------
+    def _harvest(self, param: Parameter) -> None:
+        """Bank this rank's gradient; reduce when every rank contributed."""
+        if param.grad is None:
+            return
+        pending = self._pending_grads.setdefault(
+            param.unique_id, [None] * self.config.world_size
+        )
+        pending[self.current_rank] = param.grad
+        param.grad = None
+        if all(g is not None for g in pending):
+            self._reduce_and_stash(param, pending)  # type: ignore[arg-type]
+            del self._pending_grads[param.unique_id]
+
+    def end_rank_backward(self) -> None:
+        """Sweep shared (external/tied) parameters after a rank's backward."""
+        for pid in self._shared_param_ids:
+            self._harvest(self._params_by_id[pid])
+
+    def _reduce_and_stash(self, param: Parameter, grads: list[np.ndarray]) -> None:
+        """Reduce per-rank gradients and place the result per config."""
+        self.stats.grad_reductions += 1
+        world = self.config.world_size
+        if self.config.stage >= ZeroStage.GRADIENTS:
+            padded = pad_to_multiple(max(param.full_numel, 1), world)
+            flats = []
+            for g in grads:
+                f = np.zeros(padded, dtype=g.dtype)
+                f[: param.full_numel] = g.reshape(-1)
+                flats.append(f)
+            shards = self.comm.reduce_scatter(flats, op=self.config.reduce_op)
+            for rank, shard in enumerate(shards):
+                key = f"p{param.unique_id}.r{rank}.grad16"
+                if self.accumulating:
+                    if key in self._accum_seen:
+                        # the prior round's async write must land first
+                        self.flush_grad_offload()
+                        shard = shard + self.offload.fetch(key, rank=rank)
+                    self._accum_seen.add(key)
+                handle = self.offload.stash(
+                    key,
+                    shard,
+                    self.config.offload.grad_device,
+                    rank=rank,
+                    sync=not self.config.overlap_comm,
+                )
+                if handle is not None:
+                    self._grad_handles.append(handle)
+        else:
+            reduced = self.comm.allreduce(grads, op=self.config.reduce_op)
+            # Full gradient kept per rank (classic DP / ZeRO-1); all ranks
+            # hold identical copies so one buffer suffices in simulation.
+            if self.accumulating:
+                # park the running sum OUTSIDE param.grad so the next
+                # round's backward starts from zero (accumulate_grad adds)
+                prev = self._full_grad_accum.get(param.unique_id)
+                total = reduced[0] + prev if prev is not None else reduced[0]
+                self._full_grad_accum[param.unique_id] = total
+                param.grad = None
+            else:
+                param.grad = reduced[0]
+
+    def flush_grad_offload(self) -> None:
+        """Wait for in-flight asynchronous gradient writes (step boundary)."""
+        for handle in self._grad_handles:
+            handle.wait()
+        self._grad_handles.clear()
+
+    # --- accumulation lifecycle --------------------------------------------------
+    def begin_accumulation(self) -> None:
+        """Start a multi-microbatch step: reduced grads add across rounds."""
+        self.accumulating = True
+        self._full_grad_accum.clear()
+        self._accum_seen.clear()
+
+    def end_accumulation(self) -> None:
+        """Finish the step: install accumulated full gradients (stage < 2)."""
+        self.accumulating = False
+        for pid, grad in self._full_grad_accum.items():
+            self._params_by_id[pid].grad = grad
+        self._full_grad_accum.clear()
+
+    # --- rank/iteration lifecycle ------------------------------------------------
+    def begin_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.config.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        self.current_rank = rank
+
+    def assert_no_pending(self) -> None:
+        """Invariant check: no half-reduced gradients across step boundaries."""
+        stuck = [
+            self._params_by_id[pid].name or pid
+            for pid, grads in self._pending_grads.items()
+            if any(g is not None for g in grads)
+        ]
+        if stuck:
+            raise RuntimeError(
+                f"gradients pending for {stuck}: some rank never ran backward"
+            )

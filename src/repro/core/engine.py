@@ -1,0 +1,410 @@
+"""``ZeroInfinityEngine``: the public training facade.
+
+Wires the subsystems together the way DeepSpeed's ``deepspeed.initialize``
+does: communication group, offload engine, partitioner, prefetcher,
+coordinator hooks, external-parameter machinery, partitioned optimizer and
+loss scaling — then exposes ``train_step`` over per-rank microbatches.
+
+The engine simulates ``world_size`` data-parallel ranks inside one process:
+each rank runs its forward+backward in lockstep sequence against the single
+shared (partitioned) model, collectives execute functionally across the
+per-rank buffers, and the optimizer updates every rank's shard.  Numerics
+are therefore *identical* to a real ZeRO-Infinity deployment modulo
+reduction ordering, which the equivalence tests pin down against the
+data-parallel baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
+from repro.core.coordinator import ParameterCoordinator
+from repro.core.external import (
+    install_activation_introspection,
+    install_parameter_interception,
+)
+from repro.core.offload import InfinityOffloadEngine
+from repro.core.partition import ParameterPartitioner
+from repro.core.prefetch import DynamicPrefetcher
+from repro.core.tiling import TiledLinear
+from repro.core.zero_optimizer import ZeroPartitionedAdam
+from repro.hardware.memory import MemoryLedger
+from repro.nn.init_context import PartitionedInitContext
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.parameter import PartitionState
+from repro.optim.loss_scaler import DynamicLossScaler, StaticLossScaler
+
+
+@dataclass
+class StepResult:
+    """Outcome of one engine step."""
+
+    losses: list[float]
+    skipped: bool
+    loss_scale: float
+
+    @property
+    def mean_loss(self) -> float:
+        return float(np.mean(self.losses))
+
+
+@dataclass
+class EngineReport:
+    """Data-movement and memory summary for diagnostics and benches."""
+
+    comm_bytes_by_op: dict[str, int]
+    host_link_bytes: dict[int, int]
+    nvme_read_bytes: int
+    nvme_write_bytes: int
+    prefetch_hits: int
+    prefetch_misses: int
+    gathers: int
+    releases: int
+    pinned_peak_bytes: int
+    gpu_peak_bytes: int = 0
+    cpu_peak_bytes: int = 0
+    activation_bytes_offloaded: int = 0
+    activation_bytes_restored: int = 0
+
+
+def tile_oversized_linears(
+    model: Module,
+    *,
+    threshold_numel: int,
+    tile_factor: int,
+    partitioner: Optional[ParameterPartitioner] = None,
+) -> int:
+    """Replace every ``Linear`` above ``threshold_numel`` weight elements
+    with an output-tiled :class:`TiledLinear` (memory-centric tiling).
+
+    Already-partitioned layers are gathered, tiled, their old shards
+    discarded, and the tile parameters re-partitioned — so tiling composes
+    with partition-on-init.  Returns the number of layers replaced.
+    """
+    if tile_factor < 1:
+        raise ValueError("tile_factor must be >= 1")
+    replaced = 0
+    for _, module in model.named_modules():
+        for name, child in list(module._modules.items()):
+            if (
+                not isinstance(child, Linear)
+                or isinstance(child, TiledLinear)
+                or child.weight.full_numel <= threshold_numel
+            ):
+                continue
+            was_partitioned = child.weight.state is PartitionState.PARTITIONED
+            if was_partitioned:
+                if partitioner is None:
+                    raise ValueError(
+                        "tiling a partitioned layer requires the partitioner"
+                    )
+                for p in child.direct_parameters():
+                    partitioner.gather(p)
+            tiled = TiledLinear.from_linear(child, out_tiles=tile_factor)
+            if was_partitioned:
+                for p in child.direct_parameters():
+                    partitioner.free(p)
+                for p in tiled.parameters():
+                    partitioner.partition(p)
+            module._modules[name] = tiled
+            replaced += 1
+    return replaced
+
+
+class ZeroInfinityEngine:
+    """Train a model with ZeRO-{1,2,3} partitioning and infinity offload."""
+
+    def __init__(
+        self,
+        config: ZeroConfig,
+        *,
+        model: Optional[Module] = None,
+        model_factory: Optional[Callable[[], Module]] = None,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        grad_clip: Optional[float] = None,
+        ledger: Optional[MemoryLedger] = None,
+        intercept_parameter_access: bool = True,
+        introspect_activations: bool = False,
+    ) -> None:
+        if (model is None) == (model_factory is None):
+            raise ValueError("provide exactly one of model / model_factory")
+        self.config = config
+        self.comm = ProcessGroup(config.world_size)
+        self.ledger = ledger
+        self.offload = InfinityOffloadEngine(config.offload, ledger=ledger)
+        self.partitioner = ParameterPartitioner(
+            config.world_size,
+            offload=self.offload,
+            comm=self.comm,
+            bandwidth_centric=config.bandwidth_centric,
+        )
+
+        # --- model construction / partitioning -------------------------------
+        def partition_unless_persistent(param):
+            """Small tensors stay replicated (persistence threshold)."""
+            if param.full_numel > config.param_persistence_threshold_numel:
+                self.partitioner.partition(param)
+
+        self._partition_fn = partition_unless_persistent
+        self.init_context: Optional[PartitionedInitContext] = None
+        if model_factory is not None:
+            if config.stage >= ZeroStage.PARAMETERS:
+                # Sec. 7.2: partition each parameter as it is constructed.
+                self.init_context = PartitionedInitContext(partition_unless_persistent)
+                with self.init_context:
+                    model = model_factory()
+            else:
+                model = model_factory()
+        assert model is not None
+        self.model = model
+        self.model.name_parameters()
+
+        if config.tile_linear_threshold_numel is not None and config.tile_factor > 1:
+            tile_oversized_linears(
+                self.model,
+                threshold_numel=config.tile_linear_threshold_numel,
+                tile_factor=config.tile_factor,
+                partitioner=self.partitioner,
+            )
+            self.model.name_parameters()
+
+        if config.stage >= ZeroStage.PARAMETERS:
+            for p in self.model.parameters():
+                if p.state is PartitionState.AVAILABLE and p.zero_meta is None:
+                    partition_unless_persistent(p)
+
+        # --- overlap machinery ---------------------------------------------------
+        self.prefetcher: Optional[DynamicPrefetcher] = None
+        if (
+            config.stage >= ZeroStage.PARAMETERS
+            and config.prefetch_depth > 0
+            and config.overlap_comm
+        ):
+            self.prefetcher = DynamicPrefetcher(
+                self.offload, self.partitioner, depth=config.prefetch_depth
+            )
+
+        # --- coordinator + ease-of-use machinery --------------------------------
+        self.coordinator = ParameterCoordinator(
+            self.model,
+            config,
+            partitioner=self.partitioner,
+            offload=self.offload,
+            comm=self.comm,
+            prefetcher=self.prefetcher,
+        )
+        if intercept_parameter_access and config.stage >= ZeroStage.PARAMETERS:
+            install_parameter_interception(self.model, self.coordinator)
+        if introspect_activations:
+            install_activation_introspection(self.model, self.coordinator)
+
+        # --- activation checkpoint offload (Sec. 5.1.2; NVMe per Sec. 8.2) --
+        self.activation_offloaders = []
+        if config.offload.activation_device is not OffloadDevice.NONE:
+            from repro.core.act_offload import install_activation_offload
+
+            self.activation_offloaders = install_activation_offload(
+                self.model,
+                config.offload.activation_device,
+                store=self.offload.store,
+                ledger=ledger,
+            )
+
+        # --- optimizer & loss scaling ----------------------------------------------
+        self.optimizer = ZeroPartitionedAdam(
+            self.model.parameters(),
+            config,
+            partitioner=self.partitioner,
+            offload=self.offload,
+            comm=self.comm,
+            lr=lr,
+            beta1=beta1,
+            beta2=beta2,
+            eps=eps,
+            weight_decay=weight_decay,
+            grad_clip=grad_clip,
+        )
+        if config.loss_scale is None:
+            self.scaler = DynamicLossScaler()
+        else:
+            self.scaler = StaticLossScaler(config.loss_scale)
+        self.steps_taken = 0
+        self.steps_skipped = 0
+
+    # --- training ------------------------------------------------------------------
+    def train_step(self, batches: Sequence[tuple[np.ndarray, ...]]) -> StepResult:
+        """One data-parallel step over per-rank batches.
+
+        ``len(batches)`` must equal the configured world size.  Each batch
+        is the argument tuple of the model's forward — ``(ids, targets)``
+        for language modeling, ``(ids, targets, mask)`` for masked LM, or
+        whatever the model defines.  Gradients are reduced with the
+        configured op and the partitioned optimizer updates every shard.
+        """
+        return self.train_step_accumulated([batches])
+
+    def train_step_accumulated(
+        self,
+        rounds: Sequence[Sequence[tuple[np.ndarray, ...]]],
+    ) -> StepResult:
+        """One optimizer step over multiple gradient-accumulation rounds.
+
+        Each round is a per-rank batch list; reduced gradients sum across
+        rounds and the update divides by the round count, so the step is
+        numerically the mean over every microbatch — identical to a single
+        round with the concatenated batch (verified in tests).
+        """
+        if not rounds:
+            raise ValueError("need at least one accumulation round")
+        world = self.config.world_size
+        for r in rounds:
+            if len(r) != world:
+                raise ValueError(f"each round needs {world} per-rank batches")
+        scale = self.scaler.loss_scale
+        losses: list[float] = []
+        self.coordinator.begin_accumulation()
+        for batches in rounds:
+            for rank, batch in enumerate(batches):
+                self.coordinator.begin_rank(rank)
+                if self.prefetcher is not None:
+                    self.prefetcher.begin_iteration()
+                loss = self.model(*batch)
+                losses.append(float(loss))
+                self.model.backward(scale)
+                self.coordinator.end_rank_backward()
+                if self.prefetcher is not None:
+                    self.prefetcher.end_iteration()
+            self.coordinator.assert_no_pending()
+        self.coordinator.end_accumulation()
+        self.coordinator.flush_grad_offload()
+
+        # grads carry scale * num_rounds; dividing restores the microbatch mean
+        grad_scale = scale * len(rounds)
+        overflowed = self.optimizer.grads_overflowed() if scale != 1.0 else False
+        if overflowed:
+            self.steps_skipped += 1
+            self._drop_grads()
+            self.scaler.update(True)
+            return StepResult(losses, skipped=True, loss_scale=scale)
+
+        self.optimizer.step(grad_scale=grad_scale)
+        self.scaler.update(False)
+        self._drop_grads()
+        self.steps_taken += 1
+        return StepResult(losses, skipped=False, loss_scale=scale)
+
+    def _drop_grads(self) -> None:
+        for p in self.model.parameters():
+            p.grad = None
+
+    # --- evaluation / state access ---------------------------------------------
+    def evaluate(self, *batch: np.ndarray) -> float:
+        """Loss of one batch without touching gradients or optimizer."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            rank = self.coordinator.current_rank
+            self.coordinator.begin_rank(0)
+            if self.prefetcher is not None:
+                self.prefetcher.begin_iteration()
+            loss = float(self.model(*batch))
+            if self.prefetcher is not None:
+                self.prefetcher.end_iteration()
+            self.coordinator.begin_rank(rank)
+            # evaluation leaves caches behind; free them
+            for m in self.model.modules():
+                object.__setattr__(m, "_cache", None)
+            return loss
+        finally:
+            self.model.train(was_training)
+
+    def gather_state(self) -> dict[str, np.ndarray]:
+        """Full (unpartitioned) copy of every parameter, by name."""
+        state: dict[str, np.ndarray] = {}
+        for name, p in self.model.named_parameters():
+            if p.state is PartitionState.PARTITIONED:
+                self.partitioner.gather(p)
+                state[name] = p.data.copy()
+                self.partitioner.release(p)
+            else:
+                state[name] = p.data.copy()
+        return state
+
+    # --- reporting ----------------------------------------------------------------
+    def summary(self) -> str:
+        """One-paragraph description of the engine configuration."""
+        cfg = self.config
+        off = cfg.offload
+        n_params = self.model.num_parameters()
+        n_tensors = len(list(self.model.named_parameters()))
+        persistent = sum(
+            1 for p in self.model.parameters() if p.zero_meta is None
+        )
+        lines = [
+            f"ZeroInfinityEngine: stage {int(cfg.stage)} over"
+            f" {cfg.world_size} rank(s)",
+            f"  model: {n_params:,} parameters in {n_tensors} tensors"
+            + (f" ({persistent} persistent)" if persistent else ""),
+            f"  placement: params={off.param_device.value}"
+            f" grads={off.grad_device.value}"
+            f" optimizer={off.optimizer_device.value}"
+            f" activations={off.activation_device.value}",
+            f"  retrieval: "
+            + ("bandwidth-centric allgather" if cfg.bandwidth_centric else "owner broadcast")
+            + f", prefetch depth {cfg.prefetch_depth}"
+            + ("" if cfg.overlap_comm else " (overlap off)"),
+            f"  loss scaling: "
+            + (
+                f"static x{cfg.loss_scale:g}"
+                if cfg.loss_scale is not None
+                else f"dynamic (current x{self.scaler.loss_scale:g})"
+            ),
+            f"  steps: {self.steps_taken} taken, {self.steps_skipped} skipped",
+        ]
+        return "\n".join(lines)
+
+    def memory_breakdown(self) -> dict[str, dict[str, int]]:
+        """Resident model-state bytes per tier per kind (observability)."""
+        return self.offload.bytes_by_kind()
+
+    def report(self) -> EngineReport:
+        return EngineReport(
+            comm_bytes_by_op=dict(self.comm.stats.bytes_by_op),
+            host_link_bytes=dict(self.offload.counters.host_link_bytes),
+            nvme_read_bytes=self.offload.counters.nvme_read_bytes,
+            nvme_write_bytes=self.offload.counters.nvme_write_bytes,
+            prefetch_hits=self.offload.counters.prefetch_hits,
+            prefetch_misses=self.offload.counters.prefetch_misses,
+            gathers=self.coordinator.stats.gathers,
+            releases=self.coordinator.stats.releases,
+            pinned_peak_bytes=self.offload.pool.stats.peak_bytes,
+            gpu_peak_bytes=self.ledger.peak_by_kind("gpu") if self.ledger else 0,
+            cpu_peak_bytes=self.ledger.peak_by_kind("cpu") if self.ledger else 0,
+            activation_bytes_offloaded=sum(
+                o.bytes_offloaded for o in self.activation_offloaders
+            ),
+            activation_bytes_restored=sum(
+                o.bytes_restored for o in self.activation_offloaders
+            ),
+        )
+
+    # --- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        self.coordinator.remove_hooks()
+        self.offload.close()
+
+    def __enter__(self) -> "ZeroInfinityEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

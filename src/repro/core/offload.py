@@ -1,0 +1,259 @@
+"""The infinity offload engine (Sec. 6.3).
+
+Routes named tensors (parameter shards, gradient shards, optimizer state
+shards) to their configured tier:
+
+* ``NONE``  — kept in (simulated) GPU memory;
+* ``CPU``   — kept in host arrays, crossing the owning GPU's host link;
+* ``NVME``  — spooled to the file-backed :class:`~repro.nvme.store.TensorStore`
+  through the async engine, staged via the pinned buffer pool.
+
+Per-rank host-link byte counters make the bandwidth-centric argument
+measurable: with owner/broadcast layout all of a parameter's bytes cross one
+rank's link; with sharded/allgather layout each rank's link carries 1/dp of
+them (Sec. 6.1).
+
+Asynchronous prefetch (:meth:`prefetch`) starts an NVMe read into a pinned
+staging buffer and parks the handle; a later :meth:`fetch` of the same key
+waits on the handle instead of issuing a fresh read — the nc-transfer leg of
+the overlap-centric design (Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import OffloadConfig, OffloadDevice
+from repro.hardware.memory import MemoryLedger
+from repro.nvme.aio import IORequest
+from repro.nvme.buffers import PinnedBuffer, PinnedBufferPool
+from repro.nvme.store import TensorStore
+from repro.tensor.device import CPU, gpu
+
+
+@dataclass
+class OffloadCounters:
+    """Data-movement accounting for the offload tier."""
+
+    host_link_bytes: dict[int, int] = field(default_factory=dict)  # per GPU rank
+    nvme_read_bytes: int = 0
+    nvme_write_bytes: int = 0
+    cpu_read_bytes: int = 0
+    cpu_write_bytes: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+
+    def add_link(self, rank: int, nbytes: int) -> None:
+        self.host_link_bytes[rank] = self.host_link_bytes.get(rank, 0) + nbytes
+
+    @property
+    def max_link_bytes(self) -> int:
+        return max(self.host_link_bytes.values(), default=0)
+
+    @property
+    def total_link_bytes(self) -> int:
+        return sum(self.host_link_bytes.values())
+
+
+@dataclass
+class _Inflight:
+    buffer: np.ndarray
+    pin: Optional[PinnedBuffer]
+    request: IORequest
+
+
+class InfinityOffloadEngine:
+    """Tier-routing storage for every partitioned model state."""
+
+    def __init__(
+        self,
+        config: OffloadConfig,
+        *,
+        ledger: Optional[MemoryLedger] = None,
+    ) -> None:
+        self.config = config
+        self.ledger = ledger
+        self.counters = OffloadCounters()
+        # in-memory tiers: key -> (array, device_tag)
+        self._mem: dict[str, tuple[np.ndarray, object]] = {}
+        self.pool = PinnedBufferPool(config.pinned_budget_bytes)
+        self.store: Optional[TensorStore] = (
+            TensorStore(config.nvme_dir, pool=self.pool) if config.any_nvme else None
+        )
+        self._inflight: dict[str, _Inflight] = {}
+        self._lock = threading.Lock()
+
+    # --- helpers -----------------------------------------------------------------
+    def _ledger_alloc(self, device_tag, nbytes: int) -> None:
+        if self.ledger is not None:
+            self.ledger.allocate(device_tag, nbytes)
+
+    def _ledger_free(self, device_tag, nbytes: int) -> None:
+        if self.ledger is not None:
+            self.ledger.free(device_tag, nbytes)
+
+    def _drop_mem(self, key: str) -> None:
+        old = self._mem.pop(key, None)
+        if old is not None:
+            arr, tag = old
+            self._ledger_free(tag, arr.nbytes)
+
+    # --- stash ------------------------------------------------------------------
+    def stash(
+        self,
+        key: str,
+        array: np.ndarray,
+        device: OffloadDevice,
+        *,
+        rank: int,
+        sync: bool = True,
+    ) -> Optional[IORequest]:
+        """Place ``array`` under ``key`` on ``device``.
+
+        ``rank`` identifies whose host link the bytes cross (for CPU/NVMe
+        placement).  For NVMe, ``sync=False`` returns the in-flight write
+        handle so gradient offload can overlap backward compute.
+        """
+        arr = np.ascontiguousarray(array)
+        if device is OffloadDevice.NONE:
+            self._drop_mem(key)
+            self._mem[key] = (arr.copy(), gpu(rank))
+            self._ledger_alloc(gpu(rank), arr.nbytes)
+            return None
+        if device is OffloadDevice.CPU:
+            self._drop_mem(key)
+            self._mem[key] = (arr.copy(), CPU)
+            self._ledger_alloc(CPU, arr.nbytes)
+            self.counters.add_link(rank, arr.nbytes)
+            self.counters.cpu_write_bytes += arr.nbytes
+            return None
+        if device is OffloadDevice.NVME:
+            if self.store is None:
+                raise RuntimeError("NVMe placement configured without a store")
+            self._drop_mem(key)  # key may migrate tiers
+            self.counters.add_link(rank, arr.nbytes)
+            self.counters.nvme_write_bytes += arr.nbytes
+            req = self.store.write_async(key, arr)
+            if sync:
+                req.wait()
+                return None
+            return req
+        raise ValueError(f"unknown offload device {device}")
+
+    # --- fetch -------------------------------------------------------------------
+    def fetch(self, key: str, *, rank: int) -> np.ndarray:
+        """Load the tensor stored under ``key`` (waits on any prefetch)."""
+        with self._lock:
+            inflight = self._inflight.pop(key, None)
+        if inflight is not None:
+            inflight.request.wait()
+            out = np.array(inflight.buffer, copy=True)
+            if inflight.pin is not None:
+                inflight.pin.release()
+            self.counters.prefetch_hits += 1
+            self.counters.add_link(rank, out.nbytes)
+            self.counters.nvme_read_bytes += out.nbytes
+            return out
+        entry = self._mem.get(key)
+        if entry is not None:
+            arr, tag = entry
+            if tag is CPU or getattr(tag, "is_cpu", False):
+                self.counters.add_link(rank, arr.nbytes)
+                self.counters.cpu_read_bytes += arr.nbytes
+            return arr.copy()
+        if self.store is not None and key in self.store:
+            self.counters.prefetch_misses += 1
+            out = self.store.read(key)
+            self.counters.add_link(rank, out.nbytes)
+            self.counters.nvme_read_bytes += out.nbytes
+            return out
+        raise KeyError(f"offload engine has no tensor {key!r}")
+
+    def prefetch(self, key: str, *, rank: int) -> bool:
+        """Begin an async NVMe read of ``key``; no-op for resident tiers.
+
+        Returns True when a read was actually started.
+        """
+        if self.store is None or key not in self.store or key in self._mem:
+            return False
+        with self._lock:
+            if key in self._inflight:
+                return False
+        shape, dtype, nbytes = self.store.meta(key)
+        numel = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        try:
+            pin = self.pool.acquire(numel, dtype)
+            buffer = pin.array
+        except MemoryError:
+            # Pinned pool exhausted: fall back to an unpinned staging buffer
+            # rather than stalling the prefetch pipeline.
+            pin = None
+            buffer = np.empty(numel, dtype=dtype)
+        target, req = self.store.read_async(key, buffer)
+        with self._lock:
+            self._inflight[key] = _Inflight(target, pin, req)
+        return True
+
+    # --- lifecycle --------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        if key in self._mem or key in self._inflight:
+            return True
+        return self.store is not None and key in self.store
+
+    def bytes_by_kind(self) -> dict[str, dict[str, int]]:
+        """Resident bytes per tier per state kind (``param16``, ``grad16``,
+        ``master``, ``exp_avg``, ...), keyed by the trailing key segment.
+
+        The observability view behind ``engine.memory_breakdown()``: where
+        is every byte of model state right now?
+        """
+        out: dict[str, dict[str, int]] = {}
+
+        def add(tier: str, key: str, nbytes: int) -> None:
+            kind = key.rsplit(".", 1)[-1]
+            out.setdefault(tier, {})
+            out[tier][kind] = out[tier].get(kind, 0) + nbytes
+
+        for key, (arr, tag) in self._mem.items():
+            tier = "cpu" if getattr(tag, "is_cpu", False) else "gpu"
+            add(tier, key, arr.nbytes)
+        if self.store is not None:
+            for key in self.store.keys():
+                add("nvme", key, self.store.nbytes(key))
+        return out
+
+    def discard(self, key: str) -> None:
+        with self._lock:
+            inflight = self._inflight.pop(key, None)
+        if inflight is not None:
+            inflight.request.wait()
+            if inflight.pin is not None:
+                inflight.pin.release()
+        self._drop_mem(key)
+        if self.store is not None:
+            self.store.delete(key)
+
+    def synchronize(self) -> None:
+        if self.store is not None:
+            self.store.engine.synchronize()
+
+    def close(self) -> None:
+        with self._lock:
+            inflight = list(self._inflight.values())
+            self._inflight.clear()
+        for f in inflight:
+            f.request.wait()
+            if f.pin is not None:
+                f.pin.release()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "InfinityOffloadEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

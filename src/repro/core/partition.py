@@ -1,0 +1,237 @@
+"""Parameter partitioning: bandwidth-centric and owner-based layouts.
+
+Sec. 6.1 contrasts two data mappings for offloaded parameters:
+
+* **owner/broadcast** (ZeRO / ZeRO-Offload): each parameter is fully owned
+  by one data-parallel process; before use it crosses *that process's* PCIe
+  link and is broadcast — only one link active per parameter;
+* **bandwidth-centric / allgather** (ZeRO-Infinity): each parameter is
+  sharded across *all* processes; before use every rank pulls its 1/dp slice
+  over its own link and the shards are allgathered — all links active, so
+  effective slow-memory bandwidth scales linearly with dp.
+
+Both layouts are implemented here so the benchmarks can measure the
+difference.  The wire volume of broadcast and allgather is identical (the
+paper's observation); what changes is how many host links the volume is
+spread across, which the offload engine's per-link counters capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+from repro.core.config import OffloadDevice
+from repro.core.offload import InfinityOffloadEngine
+from repro.nn.parameter import Parameter, PartitionState
+from repro.tensor.flat import pad_to_multiple, partition_bounds
+
+
+@dataclass
+class ZeroParamMeta:
+    """Bookkeeping attached to a partitioned parameter (``param.zero_meta``)."""
+
+    full_shape: tuple[int, ...]
+    np_dtype: np.dtype
+    world_size: int
+    padded_numel: int
+    shard_numel: int
+    owner_rank: Optional[int]  # None => sharded over all ranks
+    device: OffloadDevice
+
+    @property
+    def full_numel(self) -> int:
+        n = 1
+        for s in self.full_shape:
+            n *= s
+        return n
+
+    def shard_key(self, rank: int, kind: str = "param16") -> str:
+        return f"r{rank}.{kind}"
+
+
+class ParameterPartitioner:
+    """Splits, gathers, releases and updates partitioned parameters."""
+
+    def __init__(
+        self,
+        world_size: int,
+        *,
+        offload: InfinityOffloadEngine,
+        comm: Optional[ProcessGroup] = None,
+        bandwidth_centric: bool = True,
+    ) -> None:
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        self.world_size = world_size
+        self.offload = offload
+        self.comm = comm or ProcessGroup(world_size)
+        self.bandwidth_centric = bandwidth_centric
+        self._owner_rr = 0  # round-robin owner assignment for owner layout
+
+    # --- keys -------------------------------------------------------------------
+    @staticmethod
+    def _key(param: Parameter, rank: int, kind: str = "param16") -> str:
+        return f"p{param.unique_id}.r{rank}.{kind}"
+
+    def param_shard_key(self, param: Parameter, rank: int) -> str:
+        return self._key(param, rank, "param16")
+
+    # --- partition -------------------------------------------------------------
+    def partition(self, param: Parameter) -> None:
+        """Shard ``param`` and hand the shards to the offload engine.
+
+        After this call ``param.data`` is an empty placeholder and
+        ``param.state`` is ``PARTITIONED``; compute must not touch it until
+        :meth:`gather` runs.
+        """
+        if param.state is not PartitionState.AVAILABLE:
+            raise RuntimeError(f"cannot partition {param}: state={param.state}")
+        flat = param.data.reshape(-1)
+        numel = int(flat.size)
+        padded = pad_to_multiple(max(numel, 1), self.world_size)
+        shard_numel = padded // self.world_size
+
+        if self.bandwidth_centric:
+            owner: Optional[int] = None
+            for rank in range(self.world_size):
+                lo, hi = partition_bounds(numel, self.world_size, rank)
+                shard = np.zeros(shard_numel, dtype=flat.dtype)
+                if hi > lo:
+                    shard[: hi - lo] = flat[lo:hi]
+                self.offload.stash(
+                    self._key(param, rank, "param16"),
+                    shard,
+                    self.offload.config.param_device,
+                    rank=rank,
+                )
+        else:
+            owner = self._owner_rr % self.world_size
+            self._owner_rr += 1
+            padded_full = np.zeros(padded, dtype=flat.dtype)
+            padded_full[:numel] = flat
+            self.offload.stash(
+                self._key(param, owner, "param16"),
+                padded_full,
+                self.offload.config.param_device,
+                rank=owner,
+            )
+
+        param.zero_meta = ZeroParamMeta(
+            full_shape=tuple(param.data.shape),
+            np_dtype=param.data.dtype,
+            world_size=self.world_size,
+            padded_numel=padded,
+            shard_numel=shard_numel,
+            owner_rank=owner,
+            device=self.offload.config.param_device,
+        )
+        param.data = np.empty(0, dtype=flat.dtype)
+        param.state = PartitionState.PARTITIONED
+
+    # --- gather ------------------------------------------------------------------
+    def gather(self, param: Parameter) -> None:
+        """Reconstruct the full parameter on every rank (allgather path).
+
+        Idempotent: gathering an AVAILABLE parameter is a no-op, which is
+        what lets external-parameter interception call it defensively.
+        """
+        if param.state is PartitionState.AVAILABLE:
+            return
+        meta: ZeroParamMeta = param.zero_meta
+        if meta is None:
+            raise RuntimeError("gather on a parameter that was never partitioned")
+        if meta.owner_rank is None:
+            shards = [
+                self.offload.fetch(self._key(param, r, "param16"), rank=r)
+                for r in range(meta.world_size)
+            ]
+            gathered = self.comm.allgather(shards)[0]
+        else:
+            full = self.offload.fetch(
+                self._key(param, meta.owner_rank, "param16"), rank=meta.owner_rank
+            )
+            gathered = self.comm.broadcast(
+                [full if r == meta.owner_rank else None for r in range(meta.world_size)],
+                root=meta.owner_rank,
+            )[0]
+        param.data = gathered[: meta.full_numel].reshape(meta.full_shape)
+        param.state = PartitionState.AVAILABLE
+
+    def release(self, param: Parameter) -> None:
+        """Drop the full tensor after use; shards remain at their home tier.
+
+        The inverse of :meth:`gather` — "after the execution of the
+        operator, ZeRO-3 also removes the parameters" (Sec. 2).
+        """
+        if param.state is not PartitionState.AVAILABLE or param.zero_meta is None:
+            return
+        param.data = np.empty(0, dtype=param.zero_meta.np_dtype)
+        param.state = PartitionState.PARTITIONED
+
+    # --- shard access (optimizer path) -----------------------------------------
+    def get_shard(self, param: Parameter, rank: int) -> np.ndarray:
+        """This rank's fp16 shard (owner layout: the rank's slice of it)."""
+        meta: ZeroParamMeta = param.zero_meta
+        if meta.owner_rank is None:
+            return self.offload.fetch(self._key(param, rank, "param16"), rank=rank)
+        full = self.offload.fetch(
+            self._key(param, meta.owner_rank, "param16"), rank=meta.owner_rank
+        )
+        lo = rank * meta.shard_numel
+        return full[lo : lo + meta.shard_numel]
+
+    def update_shard(self, param: Parameter, rank: int, new_shard: np.ndarray) -> None:
+        """Write back an updated fp16 shard (post optimizer step)."""
+        meta: ZeroParamMeta = param.zero_meta
+        if new_shard.size != meta.shard_numel:
+            raise ValueError(
+                f"shard size {new_shard.size} != expected {meta.shard_numel}"
+            )
+        if meta.owner_rank is None:
+            self.offload.stash(
+                self._key(param, rank, "param16"),
+                new_shard.astype(meta.np_dtype, copy=False),
+                self.offload.config.param_device,
+                rank=rank,
+            )
+        else:
+            full = self.offload.fetch(
+                self._key(param, meta.owner_rank, "param16"), rank=meta.owner_rank
+            )
+            lo = rank * meta.shard_numel
+            full[lo : lo + meta.shard_numel] = new_shard
+            self.offload.stash(
+                self._key(param, meta.owner_rank, "param16"),
+                full,
+                self.offload.config.param_device,
+                rank=meta.owner_rank,
+            )
+
+    def free(self, param: Parameter) -> None:
+        """Drop every stored shard of ``param`` (used when a parameter is
+        replaced, e.g. by memory-centric tiling)."""
+        meta: ZeroParamMeta = param.zero_meta
+        if meta is None:
+            return
+        ranks = (
+            range(meta.world_size) if meta.owner_rank is None else [meta.owner_rank]
+        )
+        for r in ranks:
+            self.offload.discard(self._key(param, r, "param16"))
+        param.zero_meta = None
+
+    # --- prefetch support ----------------------------------------------------------
+    def prefetch_keys(self, param: Parameter) -> list[tuple[str, int]]:
+        """(key, rank) pairs whose fetch reconstructs this parameter."""
+        meta: ZeroParamMeta = param.zero_meta
+        if meta is None:
+            return []
+        if meta.owner_rank is None:
+            return [
+                (self._key(param, r, "param16"), r) for r in range(meta.world_size)
+            ]
+        return [(self._key(param, meta.owner_rank, "param16"), meta.owner_rank)]

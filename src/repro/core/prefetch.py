@@ -1,0 +1,141 @@
+"""Overlap-centric design: the dynamic prefetcher (Sec. 6.2).
+
+"The dynamic prefetcher traces the forward and backward computation on the
+fly, constructing an internal map of the operator sequence for each
+iteration.  During each iteration, the prefetcher keeps track of where it is
+in the operator sequence and prefetches the parameter[s] required by the
+future operators."
+
+:class:`OperatorTrace` is that internal map: a recorded sequence of
+``(module, phase)`` events.  :class:`DynamicPrefetcher` consumes it: on each
+executed event it advances its position and issues asynchronous fetches
+(NVMe reads into pinned staging buffers) for the parameters of the next
+``depth`` operators.  When the observed event diverges from the recorded
+sequence — a dynamic control-flow change — the trace is invalidated and
+re-recorded, "allowing for appropriate prefetching even when the forward and
+backward propagation changes across iterations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nn.module import Module
+from repro.nn.parameter import PartitionState
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One operator execution: a leaf module in a given phase."""
+
+    module_id: int
+    phase: str  # "fwd" | "bwd"
+
+
+@dataclass
+class OperatorTrace:
+    """The recorded operator sequence of one training iteration."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    modules: dict[int, Module] = field(default_factory=dict)
+    complete: bool = False
+
+    def record(self, module: Module, phase: str) -> None:
+        if self.complete:
+            raise RuntimeError("cannot record into a completed trace")
+        self.events.append(TraceEvent(id(module), phase))
+        self.modules[id(module)] = module
+
+    def finish(self) -> None:
+        self.complete = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def module_at(self, index: int) -> Module:
+        return self.modules[self.events[index].module_id]
+
+
+class DynamicPrefetcher:
+    """Issues lookahead fetches along the traced operator sequence.
+
+    Parameters
+    ----------
+    offload:
+        The :class:`~repro.core.offload.InfinityOffloadEngine` to start
+        asynchronous reads on.
+    partitioner:
+        Supplies ``prefetch_keys(param)`` — the (key, rank) pairs whose
+        fetch reconstructs a parameter.
+    depth:
+        How many future operators to prefetch for; 0 disables prefetching
+        (the Fig. 6d ablation).
+    """
+
+    def __init__(self, offload, partitioner, *, depth: int = 2) -> None:
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.offload = offload
+        self.partitioner = partitioner
+        self.depth = depth
+        self.trace: Optional[OperatorTrace] = None
+        self._observed: OperatorTrace = OperatorTrace()
+        self._position = 0
+        self.invalidations = 0
+        self.issued = 0
+
+    # --- iteration lifecycle -----------------------------------------------------
+    def begin_iteration(self) -> None:
+        """Reset the position and start observing this iteration's events."""
+        self._position = 0
+        self._observed = OperatorTrace()
+
+    def end_iteration(self) -> None:
+        """Adopt this iteration's observed sequence when no trace is valid.
+
+        Also catches the silent-shrink case: an iteration that executed a
+        strict prefix of the trace means the graph changed, so re-record.
+        """
+        if self.trace is not None and self._position != len(self.trace.events):
+            self.invalidations += 1
+            self.trace = None
+        if self.trace is None:
+            self._observed.finish()
+            self.trace = self._observed
+        self._observed = OperatorTrace()
+
+    # --- per-operator hook -----------------------------------------------------
+    def on_execute(self, module: Module, phase: str) -> None:
+        """Called right before a leaf module executes ``phase``."""
+        if not self._observed.complete:
+            self._observed.record(module, phase)
+        trace = self.trace
+        if trace is None:
+            return
+        # Verify the trace still predicts execution (dynamic graph check).
+        if (
+            self._position >= len(trace.events)
+            or trace.events[self._position].module_id != id(module)
+            or trace.events[self._position].phase != phase
+        ):
+            # Observed execution diverged: drop the trace.  The full
+            # observed sequence (including events before the divergence)
+            # becomes the new trace at end_iteration.
+            self.invalidations += 1
+            self.trace = None
+            return
+        self._position += 1
+        if self.depth:
+            self._issue_lookahead(trace)
+
+    def _issue_lookahead(self, trace: OperatorTrace) -> None:
+        hi = min(self._position + self.depth, len(trace.events))
+        for i in range(self._position, hi):
+            future = trace.module_at(i)
+            for param in future.direct_parameters():
+                if param.state is not PartitionState.PARTITIONED:
+                    continue
+                for key, rank in self.partitioner.prefetch_keys(param):
+                    if self.offload.prefetch(key, rank=rank):
+                        self.issued += 1

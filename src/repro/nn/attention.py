@@ -1,0 +1,73 @@
+"""Multi-head causal self-attention.
+
+Composed of the two attention-side linears of the paper's parameter count
+(Sec. 3): the fused QKV projection ``(hd, 3hd)`` and the output projection
+``(hd, hd)``, around the scaled-dot-product core from
+:mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.utils.rng import seeded_rng
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention over ``[bsz, seq, hd]`` inputs."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+        causal: bool = True,
+    ) -> None:
+        super().__init__()
+        if hidden_dim % num_heads:
+            raise ValueError(
+                f"hidden_dim {hidden_dim} not divisible by num_heads {num_heads}"
+            )
+        rng = rng if rng is not None else seeded_rng(0)
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.causal = causal
+        self.qkv = Linear(hidden_dim, 3 * hidden_dim, rng=rng, dtype=dtype)
+        self.proj = Linear(hidden_dim, hidden_dim, rng=rng, dtype=dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        qkv = self.qkv(x)  # [bsz, seq, 3*hd]
+        q, k, v = np.split(qkv, 3, axis=-1)
+        qh = F.split_heads(q, self.num_heads)
+        kh = F.split_heads(k, self.num_heads)
+        vh = F.split_heads(v, self.num_heads)
+        ctx, attn_cache = F.attention_scores_fwd(qh, kh, vh, causal=self.causal)
+        merged = F.merge_heads(ctx)
+        out = self.proj(merged)
+        self._cache = attn_cache
+        return out
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("MultiHeadAttention.backward before forward")
+        grad_merged = self.proj.backward(grad_out)
+        bsz, seq, hd = grad_merged.shape
+        grad_ctx = F.split_heads(grad_merged, self.num_heads)
+        grad_q, grad_k, grad_v = F.attention_scores_bwd(grad_ctx, self._cache)
+        grad_qkv = np.concatenate(
+            [F.merge_heads(grad_q), F.merge_heads(grad_k), F.merge_heads(grad_v)],
+            axis=-1,
+        )
+        grad_x = self.qkv.backward(grad_qkv)
+        self._cache = None
+        return grad_x
+
+    def extra_repr(self) -> str:
+        return f"hd={self.hidden_dim}, heads={self.num_heads}, causal={self.causal}"

@@ -1,0 +1,152 @@
+"""A BERT-style bidirectional encoder with a masked-LM head.
+
+ZeRO-Infinity claims to train *arbitrary model architectures* without code
+changes (Sec. 5.3).  The GPT decoder exercises causal attention and tied
+embeddings; this encoder exercises the other half of the transformer design
+space — bidirectional attention, a pooled sequence-classification path, and
+a masked-LM objective whose loss only covers masked positions.  It uses the
+same leaf layers, so the ZeRO engine's hooks cover it with zero
+engine-side changes — which is precisely the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.transformer import TransformerBlock
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    vocab_size: int = 30_522
+    max_seq: int = 512
+    mask_token: int = 0  # id used for [MASK]
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_dim <= 0 or self.num_heads <= 0:
+            raise ValueError("num_layers, hidden_dim, num_heads must be positive")
+        if self.hidden_dim % self.num_heads:
+            raise ValueError("hidden_dim must divide evenly among heads")
+        if not 0 <= self.mask_token < self.vocab_size:
+            raise ValueError("mask_token must be a valid vocabulary id")
+
+
+class MaskedLMHead(Module):
+    """Project to vocab; cross-entropy only over masked positions."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        vocab_size: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else seeded_rng(0)
+        self.proj = Linear(hidden_dim, vocab_size, rng=rng, dtype=dtype)
+
+    def forward(
+        self, x: np.ndarray, targets: np.ndarray, mask: np.ndarray
+    ) -> float:
+        """``mask`` is a boolean [bsz, seq]: True where loss applies."""
+        if not mask.any():
+            raise ValueError("masked-LM loss needs at least one masked position")
+        logits = self.proj(x)
+        flat_logits = logits[mask]  # [n_masked, vocab]
+        flat_targets = targets[mask]
+        loss, ce_cache = F.cross_entropy_fwd(flat_logits, flat_targets)
+        self._cache = (ce_cache, mask, logits.shape, logits.dtype)
+        return loss
+
+    def _backward(self, grad_loss: float) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("MaskedLMHead.backward before forward")
+        ce_cache, mask, shape, dtype = self._cache
+        grad_flat = F.cross_entropy_bwd(grad_loss, ce_cache)
+        grad_logits = np.zeros(shape, dtype=dtype)
+        grad_logits[mask] = grad_flat
+        grad_x = self.proj.backward(grad_logits)
+        self._cache = None
+        return grad_x
+
+
+class BertStyleEncoder(Module):
+    """Token+position embeddings, bidirectional blocks, MLM objective."""
+
+    def __init__(
+        self,
+        config: EncoderConfig,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else seeded_rng(0)
+        self.config = config
+        self.tok_emb = Embedding(config.vocab_size, config.hidden_dim, rng=rng, dtype=dtype)
+        self.pos_emb = Embedding(config.max_seq, config.hidden_dim, rng=rng, dtype=dtype)
+        self._block_names: list[str] = []
+        for i in range(config.num_layers):
+            block = TransformerBlock(
+                config.hidden_dim, config.num_heads, rng=rng, dtype=dtype
+            )
+            block.attn.causal = False  # bidirectional attention
+            name = f"block{i}"
+            setattr(self, name, block)
+            self._block_names.append(name)
+        self.ln_f = LayerNorm(config.hidden_dim, dtype=dtype)
+        self.mlm = MaskedLMHead(config.hidden_dim, config.vocab_size, rng=rng, dtype=dtype)
+        self.name_parameters()
+
+    @staticmethod
+    def apply_masking(
+        ids: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        mask_token: int,
+        mask_prob: float = 0.15,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Standard MLM corruption: returns (corrupted, targets, mask)."""
+        if not 0.0 < mask_prob <= 1.0:
+            raise ValueError("mask_prob must be in (0, 1]")
+        mask = rng.random(ids.shape) < mask_prob
+        if not mask.any():
+            mask.flat[0] = True  # guarantee one training signal
+        corrupted = ids.copy()
+        corrupted[mask] = mask_token
+        return corrupted, ids, mask
+
+    def forward(
+        self, ids: np.ndarray, targets: np.ndarray, mask: np.ndarray
+    ) -> float:
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be [bsz, seq], got {ids.shape}")
+        bsz, seq = ids.shape
+        if seq > self.config.max_seq:
+            raise ValueError(f"sequence {seq} exceeds max {self.config.max_seq}")
+        pos = np.broadcast_to(np.arange(seq), (bsz, seq))
+        x = self.tok_emb(ids) + self.pos_emb(pos)
+        for name in self._block_names:
+            x = self._modules[name](x)
+        x = self.ln_f(x)
+        return self.mlm(x, targets, mask)
+
+    def _backward(self, grad_loss: float) -> None:
+        grad = self.mlm.backward(grad_loss)
+        grad = self.ln_f.backward(grad)
+        for name in reversed(self._block_names):
+            grad = self._modules[name].backward(grad)
+        self.pos_emb.backward(grad)
+        self.tok_emb.backward(grad)
+        return None

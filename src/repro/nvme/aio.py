@@ -1,0 +1,225 @@
+"""Asynchronous file I/O engine.
+
+Mirrors DeepNVMe's interface (Sec. 6.3): bulk read/write requests complete
+asynchronously and can be awaited individually (``IORequest.wait``) or
+flushed together (``AsyncIOEngine.synchronize``).  Large requests are split
+into sub-block operations executed across a thread pool — the Python analogue
+of DeepNVMe's "aggressive parallelization of I/O requests", which is what
+lets a single logical request saturate a multi-queue NVMe device.
+
+Reads land directly in caller-provided buffers (no data copying), which is
+how the pinned-buffer layer achieves its zero-copy staging.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.units import MIB
+
+
+@dataclass
+class IOStats:
+    """Engine-lifetime counters."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_read += nbytes
+            self.read_requests += 1
+
+    def add_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_written += nbytes
+            self.write_requests += 1
+
+
+class IORequest:
+    """Handle for an in-flight bulk read or write."""
+
+    def __init__(self, futures: list[Future], kind: str, nbytes: int) -> None:
+        self._futures = futures
+        self.kind = kind
+        self.nbytes = nbytes
+        self._observed = False
+
+    def done(self) -> bool:
+        return all(f.done() for f in self._futures)
+
+    def wait(self) -> None:
+        """Block until the request completes; re-raises worker exceptions.
+
+        A failure is re-raised on every explicit ``wait`` but reported only
+        once through ``AsyncIOEngine.synchronize`` — an error already seen
+        by the caller does not poison engine shutdown.
+        """
+        self._observed = True
+        for f in self._futures:
+            f.result()
+
+
+class AsyncIOEngine:
+    """Thread-pool async read/write over ordinary files.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker threads — the analogue of NVMe queue pairs.
+    block_bytes:
+        Requests larger than this are split into parallel sub-operations.
+    """
+
+    def __init__(self, *, num_threads: int = 4, block_bytes: int = 8 * MIB) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self.num_threads = num_threads
+        self.block_bytes = block_bytes
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_threads, thread_name_prefix="repro-aio"
+        )
+        self._inflight: list[IORequest] = []
+        self._lock = threading.Lock()
+        self.stats = IOStats()
+        self._closed = False
+
+    # --- internal block ops ------------------------------------------------------
+    @staticmethod
+    def _pwrite(path: str, data: memoryview, offset: int) -> None:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            written = 0
+            while written < len(data):
+                written += os.pwrite(fd, data[written:], offset + written)
+        finally:
+            os.close(fd)
+
+    @staticmethod
+    def _pread(path: str, out: memoryview, offset: int) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            got = 0
+            while got < len(out):
+                chunk = os.pread(fd, len(out) - got, offset + got)
+                if not chunk:
+                    raise IOError(
+                        f"short read from {path} at offset {offset + got}:"
+                        f" wanted {len(out) - got} more bytes"
+                    )
+                out[got : got + len(chunk)] = chunk
+                got += len(chunk)
+        finally:
+            os.close(fd)
+
+    def _split(self, nbytes: int) -> list[tuple[int, int]]:
+        """(offset, length) sub-blocks covering [0, nbytes)."""
+        blocks = []
+        off = 0
+        while off < nbytes:
+            length = min(self.block_bytes, nbytes - off)
+            blocks.append((off, length))
+            off += length
+        return blocks or [(0, 0)]
+
+    def _track(self, req: IORequest) -> IORequest:
+        with self._lock:
+            self._inflight = [r for r in self._inflight if not r.done()]
+            self._inflight.append(req)
+        return req
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AsyncIOEngine is closed")
+
+    # --- public API ----------------------------------------------------------
+    def submit_write(
+        self, path: str, array: np.ndarray, *, file_offset: int = 0
+    ) -> IORequest:
+        """Begin writing ``array``'s bytes to ``path`` at ``file_offset``.
+
+        The caller must not mutate ``array`` until the request completes —
+        the same contract as real asynchronous I/O on pinned buffers.
+        """
+        self._require_open()
+        data = np.ascontiguousarray(array)
+        view = memoryview(data).cast("B")
+        # Pre-size the file so parallel pwrites of disjoint ranges are safe.
+        end = file_offset + len(view)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            if os.fstat(fd).st_size < end:
+                os.ftruncate(fd, end)
+        finally:
+            os.close(fd)
+        futures = [
+            self._pool.submit(self._pwrite, path, view[o : o + n], file_offset + o)
+            for o, n in self._split(len(view))
+        ]
+        self.stats.add_write(len(view))
+        return self._track(IORequest(futures, "write", len(view)))
+
+    def submit_read(
+        self, path: str, out: np.ndarray, *, file_offset: int = 0
+    ) -> IORequest:
+        """Begin filling ``out`` (contiguous) from ``path`` at ``file_offset``."""
+        self._require_open()
+        if not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("read target must be C-contiguous (pinned buffer)")
+        view = memoryview(out).cast("B")
+        futures = [
+            self._pool.submit(self._pread, path, view[o : o + n], file_offset + o)
+            for o, n in self._split(len(view))
+        ]
+        self.stats.add_read(len(view))
+        return self._track(IORequest(futures, "read", len(view)))
+
+    def write(self, path: str, array: np.ndarray, *, file_offset: int = 0) -> None:
+        """Synchronous write (submit + wait)."""
+        self.submit_write(path, array, file_offset=file_offset).wait()
+
+    def read(self, path: str, out: np.ndarray, *, file_offset: int = 0) -> None:
+        """Synchronous read (submit + wait)."""
+        self.submit_read(path, out, file_offset=file_offset).wait()
+
+    def synchronize(self) -> None:
+        """Block until every in-flight request has completed.
+
+        Re-raises the first failure among requests the caller has not
+        already observed via ``IORequest.wait``.
+        """
+        with self._lock:
+            pending = list(self._inflight)
+            self._inflight.clear()
+        first_error: Exception | None = None
+        for req in pending:
+            already_seen = req._observed
+            try:
+                req.wait()
+            except Exception as e:  # noqa: BLE001 - re-raised below
+                if not already_seen and first_error is None:
+                    first_error = e
+        if first_error is not None:
+            raise first_error
+
+    def close(self) -> None:
+        if not self._closed:
+            self.synchronize()
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+    def __enter__(self) -> "AsyncIOEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,164 @@
+"""Pinned memory management layer.
+
+Sec. 6.3: "pinned memory buffers are scarce system resources, and their
+oversubscription ... can degrade overall system performance"; the layer
+"manages the limited supply of pinned memory by reusing a small amount (tens
+of GBs) for offloading the entire model states (up to tens of TBs)".
+
+:class:`PinnedBufferPool` enforces a hard byte budget, satisfies acquisitions
+from a free list of previously returned buffers (reuse prevents the CPU
+fragmentation the paper warns about), and hands out buffers that support
+in-place compute so tensors "can then be written to NVMe without any further
+copies".
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class PinnedBudgetExceeded(MemoryError):
+    """Acquisition would push live pinned bytes past the pool budget."""
+
+
+@dataclass
+class _PoolStats:
+    acquisitions: int = 0
+    reuse_hits: int = 0
+    peak_bytes: int = 0
+
+
+class PinnedBuffer:
+    """A borrowed staging buffer; return it with :meth:`release`.
+
+    ``array`` is a view of exactly the requested element count over a
+    possibly larger underlying allocation (so differently-sized requests can
+    reuse the same storage).
+    """
+
+    __slots__ = ("array", "_storage", "_pool", "_released")
+
+    def __init__(self, storage: np.ndarray, numel: int, dtype, pool) -> None:
+        self._storage = storage
+        self.array = storage.view(dtype)[:numel]
+        self._pool = pool
+        self._released = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._storage.nbytes)
+
+    def release(self) -> None:
+        if self._released:
+            raise RuntimeError("pinned buffer released twice")
+        self._released = True
+        self._pool._give_back(self._storage)
+
+    def __enter__(self) -> "PinnedBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._released:
+            self.release()
+
+
+class PinnedBufferPool:
+    """A bounded, reusing pool of byte-addressed staging buffers.
+
+    Buffers are stored as raw uint8 arrays and viewed at the requested dtype
+    on acquisition.  ``budget_bytes`` caps the *total* live + cached bytes;
+    cached (free) buffers are evicted smallest-first when a new allocation
+    needs headroom.
+    """
+
+    def __init__(self, budget_bytes: int, *, alignment: int = 4096) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget must be positive")
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        self.budget_bytes = budget_bytes
+        self.alignment = alignment
+        self._free: list[np.ndarray] = []  # sorted by nbytes ascending
+        self._live_bytes = 0
+        self._cached_bytes = 0
+        self._lock = threading.Lock()
+        self.stats = _PoolStats()
+
+    # --- accounting --------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    def _round(self, nbytes: int) -> int:
+        a = self.alignment
+        return ((nbytes + a - 1) // a) * a
+
+    # --- acquire / release -----------------------------------------------------
+    def acquire(self, numel: int, dtype=np.float32) -> PinnedBuffer:
+        """Borrow a buffer holding ``numel`` items of ``dtype``.
+
+        Raises :class:`PinnedBudgetExceeded` when the request cannot fit in
+        the budget even after evicting every cached buffer — the signal that
+        a caller is trying to stage more than the pinned layer allows and
+        should instead stream in chunks (see ChunkedSwapper).
+        """
+        want = self._round(int(numel) * np.dtype(dtype).itemsize)
+        with self._lock:
+            # Best-fit reuse: smallest cached buffer large enough.
+            for i, buf in enumerate(self._free):
+                if buf.nbytes >= want:
+                    self._free.pop(i)
+                    self._cached_bytes -= buf.nbytes
+                    self._live_bytes += buf.nbytes
+                    self.stats.acquisitions += 1
+                    self.stats.reuse_hits += 1
+                    self.stats.peak_bytes = max(
+                        self.stats.peak_bytes, self._live_bytes + self._cached_bytes
+                    )
+                    return PinnedBuffer(buf, numel, dtype, self)
+            # Evict cached buffers (smallest first) until the new allocation fits.
+            while (
+                self._live_bytes + self._cached_bytes + want > self.budget_bytes
+                and self._free
+            ):
+                evicted = self._free.pop(0)
+                self._cached_bytes -= evicted.nbytes
+            if self._live_bytes + want > self.budget_bytes:
+                raise PinnedBudgetExceeded(
+                    f"request for {want} bytes exceeds pinned budget"
+                    f" ({self._live_bytes} live of {self.budget_bytes})"
+                )
+            storage = np.empty(want, dtype=np.uint8)
+            self._live_bytes += want
+            self.stats.acquisitions += 1
+            self.stats.peak_bytes = max(
+                self.stats.peak_bytes, self._live_bytes + self._cached_bytes
+            )
+            return PinnedBuffer(storage, numel, dtype, self)
+
+    def _give_back(self, storage: np.ndarray) -> None:
+        with self._lock:
+            self._live_bytes -= storage.nbytes
+            self._cached_bytes += storage.nbytes
+            # keep free list sorted ascending by size for best-fit scans
+            lo, hi = 0, len(self._free)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._free[mid].nbytes < storage.nbytes:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            self._free.insert(lo, storage)
+
+    def drain(self) -> None:
+        """Drop all cached buffers (frees their memory)."""
+        with self._lock:
+            self._free.clear()
+            self._cached_bytes = 0

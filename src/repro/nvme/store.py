@@ -1,0 +1,296 @@
+"""File-backed tensor swapping.
+
+:class:`TensorStore` is the storage backend of NVMe offload: tensors are
+written to per-key binary files in a spool directory and read back into
+caller buffers (or pool-staged copies).  All I/O goes through the
+:class:`~repro.nvme.aio.AsyncIOEngine`, so swaps can overlap compute exactly
+as the overlap-centric design requires.
+
+:class:`ChunkedSwapper` implements the streamed optimizer-step pattern of
+Sec. 5.2.2: state too large for CPU memory is brought from NVMe "in chunks
+that can fit in the CPU memory ... one chunk at a time", with the read of
+chunk ``i+1`` overlapping the write-back of chunk ``i-1`` and the compute on
+chunk ``i`` (double buffering).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.nvme.aio import AsyncIOEngine, IORequest
+from repro.nvme.buffers import PinnedBufferPool
+
+
+@dataclass(frozen=True, slots=True)
+class _Record:
+    path: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    nbytes: int
+
+
+class TensorStore:
+    """Named tensor swap space over a spool directory.
+
+    Thread-safe for the engine's usage pattern (async writes racing with
+    metadata reads).  Keys are arbitrary strings; slashes are escaped so
+    parameter paths like ``"blocks.3.attn.qkv.weight"`` map to flat files.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        engine: Optional[AsyncIOEngine] = None,
+        pool: Optional[PinnedBufferPool] = None,
+    ) -> None:
+        self._own_dir = directory is None
+        self.directory = directory or tempfile.mkdtemp(prefix="repro-nvme-")
+        os.makedirs(self.directory, exist_ok=True)
+        self._own_engine = engine is None
+        self.engine = engine or AsyncIOEngine()
+        self.pool = pool
+        self._records: dict[str, _Record] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # --- paths ----------------------------------------------------------------
+    def _path_for(self, key: str) -> str:
+        safe = key.replace(os.sep, "__")
+        return os.path.join(self.directory, safe + ".bin")
+
+    # --- metadata ----------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._records
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._records)
+
+    def nbytes(self, key: str) -> int:
+        with self._lock:
+            return self._records[key].nbytes
+
+    def meta(self, key: str) -> tuple[tuple[int, ...], np.dtype, int]:
+        """(shape, dtype, nbytes) of a stored tensor."""
+        with self._lock:
+            rec = self._records[key]
+        return rec.shape, rec.dtype, rec.nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(r.nbytes for r in self._records.values())
+
+    # --- write -------------------------------------------------------------------
+    def write(self, key: str, array: np.ndarray) -> None:
+        """Synchronously persist ``array`` under ``key`` (overwrites)."""
+        self.write_async(key, array).wait()
+
+    def write_async(self, key: str, array: np.ndarray) -> IORequest:
+        """Begin persisting ``array``; caller must not mutate it until done."""
+        arr = np.ascontiguousarray(array)
+        path = self._path_for(key)
+        rec = _Record(path, arr.shape, arr.dtype, int(arr.nbytes))
+        with self._lock:
+            old = self._records.get(key)
+            if old is not None and old.nbytes != rec.nbytes:
+                # shrinkage must truncate, or stale tail bytes would survive
+                with open(path, "wb"):
+                    pass
+            self._records[key] = rec
+        return self.engine.submit_write(path, arr)
+
+    # --- read ------------------------------------------------------------------
+    def read(self, key: str, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Synchronously load ``key``; into ``out`` when provided."""
+        out, req = self._start_read(key, out)
+        req.wait()
+        return out
+
+    def read_async(
+        self, key: str, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, IORequest]:
+        """Begin loading ``key``; returns (target, handle)."""
+        return self._start_read(key, out)
+
+    def _start_read(
+        self, key: str, out: Optional[np.ndarray]
+    ) -> tuple[np.ndarray, IORequest]:
+        with self._lock:
+            try:
+                rec = self._records[key]
+            except KeyError as e:
+                raise KeyError(f"tensor {key!r} not in store") from e
+        if out is None:
+            out = np.empty(rec.shape, dtype=rec.dtype)
+        else:
+            if out.nbytes != rec.nbytes:
+                raise ValueError(
+                    f"target buffer holds {out.nbytes} bytes, record {key!r}"
+                    f" holds {rec.nbytes}"
+                )
+            if out.dtype != rec.dtype:
+                out = out.view(rec.dtype)
+            if tuple(out.shape) != rec.shape:
+                out = out.reshape(rec.shape)
+        req = self.engine.submit_read(rec.path, out)
+        return out, req
+
+    # --- ranged access (chunked optimizer streaming) ---------------------------
+    def read_range(
+        self, key: str, start_numel: int, numel: int, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, IORequest]:
+        """Begin reading ``numel`` elements of flat ``key`` from ``start_numel``.
+
+        Returns ``(target, handle)``.  Used by the chunked NVMe optimizer
+        step to stream state shards through bounded staging buffers.
+        """
+        with self._lock:
+            rec = self._records[key]
+        total = int(np.prod(rec.shape, dtype=np.int64))
+        if start_numel < 0 or numel < 0 or start_numel + numel > total:
+            raise ValueError(
+                f"range [{start_numel}, {start_numel + numel}) out of bounds"
+                f" for {key!r} with {total} elements"
+            )
+        if out is None:
+            out = np.empty(numel, dtype=rec.dtype)
+        elif out.dtype != rec.dtype or out.size != numel:
+            raise ValueError("range read target has wrong dtype or size")
+        req = self.engine.submit_read(
+            rec.path, out, file_offset=start_numel * rec.dtype.itemsize
+        )
+        return out, req
+
+    def write_range(
+        self, key: str, start_numel: int, array: np.ndarray
+    ) -> IORequest:
+        """Begin writing ``array`` into flat ``key`` at ``start_numel``."""
+        with self._lock:
+            rec = self._records[key]
+        arr = np.ascontiguousarray(array, dtype=rec.dtype).reshape(-1)
+        total = int(np.prod(rec.shape, dtype=np.int64))
+        if start_numel < 0 or start_numel + arr.size > total:
+            raise ValueError(
+                f"range write [{start_numel}, {start_numel + arr.size}) out of"
+                f" bounds for {key!r} with {total} elements"
+            )
+        return self.engine.submit_write(
+            rec.path, arr, file_offset=start_numel * rec.dtype.itemsize
+        )
+
+    # --- delete / lifecycle --------------------------------------------------------
+    def delete(self, key: str) -> None:
+        with self._lock:
+            rec = self._records.pop(key, None)
+        if rec is not None and os.path.exists(rec.path):
+            os.remove(rec.path)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._own_engine:
+            self.engine.close()
+        else:
+            self.engine.synchronize()
+        if self._own_dir:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "TensorStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ChunkedSwapper:
+    """Double-buffered streaming of a huge stored tensor through a transform.
+
+    ``apply`` reads a 1-D stored tensor in fixed-size chunks, calls
+    ``fn(chunk) -> chunk`` on each, and writes results back — never holding
+    more than two chunks of staging memory (from the pinned pool when one is
+    configured).  Read-ahead of chunk ``i+1`` is issued before ``fn`` runs on
+    chunk ``i``, so I/O overlaps compute like the infinity engine's NVMe
+    optimizer step.
+    """
+
+    def __init__(
+        self,
+        store: TensorStore,
+        *,
+        chunk_numel: int,
+        pool: Optional[PinnedBufferPool] = None,
+    ) -> None:
+        if chunk_numel <= 0:
+            raise ValueError("chunk_numel must be positive")
+        self.store = store
+        self.chunk_numel = chunk_numel
+        self.pool = pool
+
+    def _chunks(self, total: int) -> Iterator[tuple[int, int]]:
+        off = 0
+        while off < total:
+            n = min(self.chunk_numel, total - off)
+            yield off, n
+            off += n
+
+    def apply(self, key: str, fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Stream ``key`` through ``fn`` chunk-by-chunk, in place on disk."""
+        with self.store._lock:
+            rec = self.store._records[key]
+        total = int(np.prod(rec.shape, dtype=np.int64))
+        itemsize = rec.dtype.itemsize
+        spans = list(self._chunks(total))
+        if not spans:
+            return
+
+        def acquire(n: int):
+            if self.pool is not None:
+                buf = self.pool.acquire(n, rec.dtype)
+                return buf.array, buf
+            return np.empty(n, dtype=rec.dtype), None
+
+        # Prime: issue read of chunk 0.
+        pending_write: Optional[IORequest] = None
+        cur_arr, cur_pin = acquire(spans[0][1])
+        cur_req = self.store.engine.submit_read(
+            rec.path, cur_arr, file_offset=spans[0][0] * itemsize
+        )
+        for i, (off, n) in enumerate(spans):
+            # Read-ahead next chunk before computing on the current one.
+            nxt = None
+            if i + 1 < len(spans):
+                noff, nn = spans[i + 1]
+                nxt_arr, nxt_pin = acquire(nn)
+                nxt_req = self.store.engine.submit_read(
+                    rec.path, nxt_arr, file_offset=noff * itemsize
+                )
+                nxt = (nxt_arr, nxt_pin, nxt_req)
+            cur_req.wait()
+            result = np.ascontiguousarray(fn(cur_arr), dtype=rec.dtype)
+            if result.size != n:
+                raise ValueError(
+                    f"chunk transform changed size: {n} -> {result.size}"
+                )
+            if pending_write is not None:
+                pending_write.wait()  # bound in-flight writes to one
+            pending_write = self.store.engine.submit_write(
+                rec.path, result, file_offset=off * itemsize
+            )
+            pending_write.wait()  # result may be a temp; ensure durable before reuse
+            pending_write = None
+            if cur_pin is not None:
+                cur_pin.release()
+            if nxt is not None:
+                cur_arr, cur_pin, cur_req = nxt
+        self.store.engine.synchronize()

@@ -1,0 +1,21 @@
+"""Optimizers for mixed-precision training.
+
+The paper's recipe (Sec. 2-3): forward/backward in FP16, parameter updates in
+FP32 against master copies, with Adam keeping first/second moment statistics
+— 16 bytes of optimizer state per parameter on top of the 4 bytes of fp16
+param+grad.  :class:`~repro.optim.adam.Adam` implements the element-wise
+update on flat numpy buffers so ZeRO partitioners can run it per-shard;
+:class:`~repro.optim.loss_scaler.DynamicLossScaler` implements the standard
+overflow-backoff loss scaling fp16 training requires.
+"""
+
+from repro.optim.adam import Adam, AdamState, adam_step
+from repro.optim.loss_scaler import DynamicLossScaler, StaticLossScaler
+
+__all__ = [
+    "Adam",
+    "AdamState",
+    "adam_step",
+    "DynamicLossScaler",
+    "StaticLossScaler",
+]

@@ -1,0 +1,163 @@
+"""Mixed-precision Adam(W) on flat buffers.
+
+The update is factored as a pure function :func:`adam_step` over 1-D numpy
+buffers so that every ZeRO variant can reuse it unchanged:
+
+* the data-parallel baseline calls it on each full parameter;
+* ZeRO-1/2/3 call it on each rank's optimizer-state shard;
+* the NVMe offload path calls it chunk-by-chunk from inside a
+  :class:`~repro.nvme.store.ChunkedSwapper` stream.
+
+State per element is the paper's 16 bytes: fp32 momentum, fp32 variance,
+fp32 master parameter (+ the fp32 master gradient staged transiently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+@dataclass
+class AdamState:
+    """Per-parameter(-shard) fp32 state."""
+
+    master: np.ndarray  # fp32 master copy of the (shard of the) parameter
+    exp_avg: np.ndarray  # first moment
+    exp_avg_sq: np.ndarray  # second moment
+    step: int = 0
+
+    @staticmethod
+    def init(values: np.ndarray) -> "AdamState":
+        master = values.astype(np.float32).reshape(-1).copy()
+        return AdamState(
+            master=master,
+            exp_avg=np.zeros_like(master),
+            exp_avg_sq=np.zeros_like(master),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.master.nbytes + self.exp_avg.nbytes + self.exp_avg_sq.nbytes
+        )
+
+
+def adam_step(
+    master: np.ndarray,
+    grad: np.ndarray,
+    exp_avg: np.ndarray,
+    exp_avg_sq: np.ndarray,
+    *,
+    step: int,
+    lr: float,
+    beta1: float = 0.9,
+    beta2: float = 0.999,
+    eps: float = 1e-8,
+    weight_decay: float = 0.0,
+) -> None:
+    """One in-place Adam(W) update on fp32 flat buffers.
+
+    ``step`` is 1-based (bias correction uses it directly).  Decoupled
+    weight decay (AdamW) is applied when ``weight_decay > 0``.
+    """
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    g = grad.astype(np.float32, copy=False)
+    exp_avg *= beta1
+    exp_avg += (1.0 - beta1) * g
+    exp_avg_sq *= beta2
+    exp_avg_sq += (1.0 - beta2) * np.square(g)
+    bias1 = 1.0 - beta1**step
+    bias2 = 1.0 - beta2**step
+    denom = np.sqrt(exp_avg_sq / bias2) + eps
+    if weight_decay:
+        master -= lr * weight_decay * master
+    master -= (lr / bias1) * (exp_avg / denom)
+
+
+class Adam:
+    """Optimizer over :class:`Parameter` objects (baseline, unpartitioned).
+
+    Keeps fp32 master state per parameter; ``step()`` consumes the fp16 (or
+    fp32) ``.grad`` of each parameter, updates the master, and writes the
+    cast-back value into ``param.data`` — the standard mixed-precision loop.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        *,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        grad_clip: Optional[float] = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
+        self.state: dict[int, AdamState] = {
+            p.unique_id: AdamState.init(p.data) for p in self.params
+        }
+
+    @property
+    def state_bytes(self) -> int:
+        return sum(s.nbytes for s in self.state.values())
+
+    def global_grad_norm(self) -> float:
+        """L2 norm over all gradients (fp32 accumulation)."""
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                g = p.grad.astype(np.float32, copy=False)
+                total += float(np.square(g).sum())
+        return float(np.sqrt(total))
+
+    def step(self, *, grad_scale: float = 1.0) -> None:
+        """Apply one update; ``grad_scale`` divides grads (loss-scale undo)."""
+        clip_coef = 1.0
+        if self.grad_clip is not None:
+            norm = self.global_grad_norm() / grad_scale
+            if norm > self.grad_clip:
+                clip_coef = self.grad_clip / (norm + 1e-12)
+        for p in self.params:
+            if p.grad is None:
+                continue
+            st = self.state[p.unique_id]
+            st.step += 1
+            grad = p.grad.astype(np.float32).reshape(-1)
+            if grad_scale != 1.0:
+                grad /= grad_scale
+            if clip_coef != 1.0:
+                grad *= clip_coef
+            adam_step(
+                st.master,
+                grad,
+                st.exp_avg,
+                st.exp_avg_sq,
+                step=st.step,
+                lr=self.lr,
+                beta1=self.beta1,
+                beta2=self.beta2,
+                eps=self.eps,
+                weight_decay=self.weight_decay,
+            )
+            p.data = st.master.reshape(p.data.shape).astype(p.data.dtype)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

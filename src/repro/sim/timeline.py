@@ -1,0 +1,66 @@
+"""ASCII Gantt rendering of simulated step timelines.
+
+Turns a :class:`~repro.sim.events.SimulationResult` into a per-stream
+occupancy chart so the overlap structure (or its absence) is visible at a
+glance — the textual analogue of a profiler trace:
+
+    compute |####==####==####____________|
+    gg      |==__==__==__________________|
+    nc      |######______________________|
+
+Each column is a time slice; a filled cell means the stream was busy.
+Distinct task-name prefixes rotate through marker characters so phases can
+be told apart.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import SimulationResult
+
+_MARKERS = "#=%@+*o~"
+
+
+def _prefix(name: str) -> str:
+    return name.split(":", 1)[0]
+
+
+def render_gantt(
+    result: SimulationResult,
+    *,
+    width: int = 72,
+    label_width: int = 8,
+) -> str:
+    """Render per-stream occupancy over the makespan."""
+    if not result.tasks or result.makespan <= 0:
+        return "(empty timeline)"
+    streams: dict[str, list] = {}
+    for t in result.tasks:
+        streams.setdefault(t.stream, []).append(t)
+    prefixes = sorted({_prefix(t.name) for t in result.tasks})
+    marker_of = {p: _MARKERS[i % len(_MARKERS)] for i, p in enumerate(prefixes)}
+
+    scale = width / result.makespan
+    lines = []
+    for stream in sorted(streams):
+        row = [" "] * width
+        for t in streams[stream]:
+            lo = int(t.start * scale)
+            hi = max(int(t.finish * scale), lo + 1)
+            for c in range(lo, min(hi, width)):
+                row[c] = marker_of[_prefix(t.name)]
+        busy = result.busy_fraction(stream)
+        lines.append(
+            f"{stream.ljust(label_width)}|{''.join(row)}| {busy:4.0%}"
+        )
+    legend = "  ".join(f"{m}={p}" for p, m in marker_of.items())
+    lines.append(f"{'':{label_width}} t=0 .. {result.makespan:.3g}s   {legend}")
+    return "\n".join(lines)
+
+
+def phase_summary(result: SimulationResult) -> dict[str, float]:
+    """Total task time per name prefix (compute-fwd, nc-fetch, ...)."""
+    out: dict[str, float] = {}
+    for t in result.tasks:
+        p = _prefix(t.name)
+        out[p] = out.get(p, 0.0) + t.duration
+    return out

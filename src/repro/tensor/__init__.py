@@ -1,0 +1,40 @@
+"""Tensor substrate: typed, device-tagged numpy arrays and flat buffers.
+
+This package substitutes the parts of ``torch`` that ZeRO-Infinity's data
+plane relies on: half/full precision dtypes, device placement tags
+(GPU / CPU / NVMe), contiguous flat buffers, and the partitioning arithmetic
+that splits a flat buffer evenly across data-parallel ranks.
+"""
+
+from repro.tensor.device import Device, DeviceKind, CPU, GPU0, gpu, nvme
+from repro.tensor.dtypes import DType, FP16, FP32, FP64, dtype_of
+from repro.tensor.tensor import DeviceTensor
+from repro.tensor.flat import (
+    FlatView,
+    flatten_arrays,
+    pad_to_multiple,
+    partition_bounds,
+    partition_padded_size,
+    unflatten_array,
+)
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "CPU",
+    "GPU0",
+    "gpu",
+    "nvme",
+    "DType",
+    "FP16",
+    "FP32",
+    "FP64",
+    "dtype_of",
+    "DeviceTensor",
+    "FlatView",
+    "flatten_arrays",
+    "pad_to_multiple",
+    "partition_bounds",
+    "partition_padded_size",
+    "unflatten_array",
+]

@@ -1,0 +1,82 @@
+"""Numeric dtype descriptors for mixed-precision training.
+
+The paper's recipe (Sec. 2, Sec. 3) stores parameters and gradients in FP16
+and optimizer state (momentum, variance, master parameters, master gradients)
+in FP32 — 20 bytes per parameter in total.  These descriptors tie a numpy
+dtype to its byte accounting so memory models and the functional engine agree
+on sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class DType:
+    """A named numeric type with its numpy realisation and itemsize."""
+
+    name: str
+    np_dtype: np.dtype
+    itemsize: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.name
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.np_dtype)
+
+    def empty(self, shape) -> np.ndarray:
+        return np.empty(shape, dtype=self.np_dtype)
+
+    def cast(self, array: np.ndarray) -> np.ndarray:
+        """Cast with copy only when necessary."""
+        return np.asarray(array, dtype=self.np_dtype)
+
+
+FP16 = DType("fp16", np.dtype(np.float16), 2)
+FP32 = DType("fp32", np.dtype(np.float32), 4)
+FP64 = DType("fp64", np.dtype(np.float64), 8)
+
+_BY_NP = {d.np_dtype: d for d in (FP16, FP32, FP64)}
+_BY_NAME = {d.name: d for d in (FP16, FP32, FP64)}
+
+
+def dtype_of(obj) -> DType:
+    """Resolve a :class:`DType` from a name, numpy dtype, or array.
+
+    >>> dtype_of("fp16").itemsize
+    2
+    >>> dtype_of(np.zeros(3, dtype=np.float32)).name
+    'fp32'
+    """
+    if isinstance(obj, DType):
+        return obj
+    if isinstance(obj, str):
+        try:
+            return _BY_NAME[obj]
+        except KeyError as e:
+            raise ValueError(f"unknown dtype name {obj!r}") from e
+    if isinstance(obj, np.ndarray):
+        obj = obj.dtype
+    npd = np.dtype(obj)
+    try:
+        return _BY_NP[npd]
+    except KeyError as e:
+        raise ValueError(f"unsupported numpy dtype {npd}") from e
+
+
+# Byte costs per parameter under the paper's mixed-precision Adam recipe
+# (Sec. 3 "each parameter requires 20 bytes of memory"):
+#   fp16 parameter (2) + fp16 gradient (2)
+#   + fp32 momentum (4) + fp32 variance (4) + fp32 master param (4)
+#   + fp32 master gradient (4)
+BYTES_PER_PARAM_FP16 = FP16.itemsize
+BYTES_PER_GRAD_FP16 = FP16.itemsize
+BYTES_PER_PARAM_OPTIMIZER = 4 * FP32.itemsize
+BYTES_PER_PARAM_TOTAL = (
+    BYTES_PER_PARAM_FP16 + BYTES_PER_GRAD_FP16 + BYTES_PER_PARAM_OPTIMIZER
+)
+assert BYTES_PER_PARAM_TOTAL == 20

@@ -1,0 +1,152 @@
+"""``DeviceTensor``: a numpy array tagged with a logical device.
+
+This is the unit of data the offload engine moves between memory tiers.  It
+intentionally does *not* implement arithmetic — compute happens on raw numpy
+arrays inside :mod:`repro.nn.functional`; ``DeviceTensor`` exists to carry
+placement, enforce move semantics, and centralise byte accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.device import CPU, Device
+from repro.tensor.dtypes import DType, dtype_of
+
+
+class DeviceTensor:
+    """A contiguous numpy buffer with a device tag and a stable identity.
+
+    Moves (:meth:`to`) mutate the tag in place and, when a
+    :class:`~repro.hardware.memory.MemoryLedger` is attached, update the
+    per-device byte accounting — mirroring how a real runtime's allocator
+    sees cudaMemcpy + free.
+    """
+
+    __slots__ = ("_data", "_device", "_dtype", "name", "_ledger")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        device: Device = CPU,
+        *,
+        name: str = "",
+        ledger=None,
+    ) -> None:
+        arr = np.ascontiguousarray(data)
+        self._data = arr
+        self._device = device
+        self._dtype = dtype_of(arr)
+        self.name = name
+        self._ledger = ledger
+        if ledger is not None:
+            ledger.allocate(device, self.nbytes)
+
+    # --- introspection -----------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        value = np.ascontiguousarray(value)
+        if self._ledger is not None:
+            self._ledger.free(self._device, self.nbytes)
+            self._ledger.allocate(self._device, value.nbytes)
+        self._data = value
+        self._dtype = dtype_of(value)
+
+    @property
+    def device(self) -> Device:
+        return self._device
+
+    @property
+    def dtype(self) -> DType:
+        return self._dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def numel(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"DeviceTensor({label} shape={self.shape}, dtype={self._dtype},"
+            f" device={self._device})"
+        )
+
+    # --- movement ------------------------------------------------------------
+    def to(self, device: Device) -> "DeviceTensor":
+        """Move this tensor to ``device`` (in place; returns self).
+
+        A same-device move is a no-op, matching ``torch.Tensor.to``.
+        """
+        if device == self._device:
+            return self
+        if self._ledger is not None:
+            self._ledger.free(self._device, self.nbytes)
+            self._ledger.allocate(device, self.nbytes)
+        self._device = device
+        return self
+
+    def astype(self, dtype: DType | str) -> "DeviceTensor":
+        """Return a new tensor cast to ``dtype`` on the same device."""
+        d = dtype_of(dtype)
+        return DeviceTensor(
+            self._data.astype(d.np_dtype), self._device, name=self.name
+        )
+
+    def copy(self, *, name: Optional[str] = None) -> "DeviceTensor":
+        return DeviceTensor(
+            self._data.copy(), self._device, name=self.name if name is None else name
+        )
+
+    def fill_(self, value: float) -> "DeviceTensor":
+        self._data.fill(value)
+        return self
+
+    def copy_from(self, other: "DeviceTensor | np.ndarray") -> "DeviceTensor":
+        """In-place elementwise copy (shapes must match); dtype converts."""
+        src = other.data if isinstance(other, DeviceTensor) else other
+        if src.shape != self._data.shape:
+            raise ValueError(
+                f"shape mismatch in copy_from: {src.shape} -> {self._data.shape}"
+            )
+        np.copyto(self._data, src, casting="same_kind")
+        return self
+
+    def release(self) -> None:
+        """Free the buffer (accounting + drop the reference).
+
+        After release the tensor holds a zero-length array; touching it is a
+        bug that will surface as a shape error, the closest analogue of a
+        use-after-free on a real device.
+        """
+        if self._ledger is not None:
+            self._ledger.free(self._device, self.nbytes)
+        self._data = np.empty(0, dtype=self._data.dtype)
+
+    # --- constructors ----------------------------------------------------------
+    @staticmethod
+    def zeros(
+        shape, dtype: DType | str = "fp32", device: Device = CPU, *, name: str = ""
+    ) -> "DeviceTensor":
+        d = dtype_of(dtype)
+        return DeviceTensor(d.zeros(shape), device, name=name)
+
+    @staticmethod
+    def empty(
+        shape, dtype: DType | str = "fp32", device: Device = CPU, *, name: str = ""
+    ) -> "DeviceTensor":
+        d = dtype_of(dtype)
+        return DeviceTensor(d.empty(shape), device, name=name)

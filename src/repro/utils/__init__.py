@@ -1,0 +1,50 @@
+"""Shared utilities: unit arithmetic, table rendering, deterministic RNG.
+
+These helpers are deliberately dependency-free so every other subpackage can
+import them without cycles.
+"""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    GFLOP,
+    TFLOP,
+    PFLOP,
+    format_bytes,
+    format_count,
+    format_flops,
+    format_time,
+    parse_bytes,
+)
+from repro.utils.tables import Table, ascii_bar_chart, ascii_line_chart
+from repro.utils.rng import seeded_rng, spawn_rngs
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "GFLOP",
+    "TFLOP",
+    "PFLOP",
+    "format_bytes",
+    "format_count",
+    "format_flops",
+    "format_time",
+    "parse_bytes",
+    "Table",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "seeded_rng",
+    "spawn_rngs",
+]

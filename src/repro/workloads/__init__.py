@@ -1,0 +1,34 @@
+"""Training workloads: synthetic data, LR schedules, and a trainer loop.
+
+The paper trains GPT-like models on text; offline we substitute synthetic
+token streams with enough structure to be learnable (so loss curves are
+meaningful in tests and examples), plus the schedule/trainer scaffolding a
+downstream user expects from a training library.
+"""
+
+from repro.workloads.data import (
+    CopyTaskDataset,
+    MarkovCorpus,
+    per_rank_batches,
+)
+from repro.workloads.schedule import (
+    ConstantSchedule,
+    WarmupCosineSchedule,
+    WarmupLinearSchedule,
+)
+from repro.workloads.trainer import Trainer, TrainerConfig
+from repro.workloads.metrics import MetricsLogger, iter_losses, read_metrics
+
+__all__ = [
+    "MetricsLogger",
+    "iter_losses",
+    "read_metrics",
+    "CopyTaskDataset",
+    "MarkovCorpus",
+    "per_rank_batches",
+    "ConstantSchedule",
+    "WarmupCosineSchedule",
+    "WarmupLinearSchedule",
+    "Trainer",
+    "TrainerConfig",
+]

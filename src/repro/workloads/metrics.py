@@ -1,0 +1,77 @@
+"""Structured run metrics: JSONL logging and reload.
+
+Long training runs need durable metrics, not stdout.  :class:`MetricsLogger`
+appends one JSON object per event to a file (the format every experiment
+dashboard ingests), flushes eagerly so crashes lose at most one line, and
+:func:`read_metrics` loads a run back for analysis.  The Trainer accepts a
+logger via its ``metrics`` hook.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Optional
+
+
+class MetricsLogger:
+    """Append-only JSONL event log for a training run."""
+
+    def __init__(self, path: str, *, run_name: str = "") -> None:
+        self.path = path
+        self.run_name = run_name
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "a")
+        self._events = 0
+
+    def log(self, event: str, **fields) -> None:
+        """Record one event; fields must be JSON-serialisable."""
+        record = {"event": event, "seq": self._events}
+        if self.run_name:
+            record["run"] = self.run_name
+        record.update(fields)
+        json.dump(record, self._fh, sort_keys=True)
+        self._fh.write("\n")
+        self._fh.flush()  # crash-durable line-by-line
+        self._events += 1
+
+    def log_step(self, step: int, loss: float, lr: float, **extra) -> None:
+        self.log("step", step=step, loss=float(loss), lr=float(lr), **extra)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "MetricsLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_metrics(path: str, *, event: Optional[str] = None) -> list[dict]:
+    """Load a JSONL metrics file; optionally filter by event type.
+
+    Tolerates a truncated final line (the crash case the eager flush
+    bounds) by skipping it.
+    """
+    out: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final write
+            if event is None or record.get("event") == event:
+                out.append(record)
+    return out
+
+
+def iter_losses(path: str) -> Iterator[tuple[int, float]]:
+    """(step, loss) pairs from a metrics file, in order."""
+    for record in read_metrics(path, event="step"):
+        yield int(record["step"]), float(record["loss"])

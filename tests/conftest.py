@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import GPTModel, TransformerConfig
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return seeded_rng(1234)
+
+
+@pytest.fixture
+def tiny_config() -> TransformerConfig:
+    """A model small enough for exhaustive numeric checks."""
+    return TransformerConfig(
+        num_layers=2, hidden_dim=32, num_heads=4, vocab_size=64, max_seq=16
+    )
+
+
+@pytest.fixture
+def tiny_model(tiny_config) -> GPTModel:
+    return GPTModel(tiny_config, rng=seeded_rng(7))
+
+
+def make_batch(rng, *, vocab=64, bsz=2, seq=8):
+    ids = rng.integers(0, vocab, size=(bsz, seq))
+    targets = rng.integers(0, vocab, size=(bsz, seq))
+    return ids, targets
+
+
+@pytest.fixture
+def batch(rng):
+    return make_batch(rng)

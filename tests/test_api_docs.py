@@ -1,0 +1,42 @@
+"""The generated API reference stays in sync with the code."""
+
+import os
+import subprocess
+import sys
+
+TOOLS = os.path.join(os.path.dirname(__file__), os.pardir, "tools")
+
+
+def test_api_docs_current():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(TOOLS, "gen_api_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_every_package_has_exports():
+    """Public packages must declare __all__ (the doc generator's source)."""
+    import importlib
+
+    for pkg in (
+        "repro",
+        "repro.core",
+        "repro.nn",
+        "repro.nvme",
+        "repro.comm",
+        "repro.sim",
+        "repro.workloads",
+        "repro.analytics",
+        "repro.baselines",
+        "repro.hardware",
+        "repro.tensor",
+        "repro.utils",
+    ):
+        mod = importlib.import_module(pkg)
+        assert getattr(mod, "__all__", None), f"{pkg} lacks __all__"
+        # and every exported name actually resolves
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{pkg}.{name} missing"

@@ -1,0 +1,246 @@
+"""DDP oracle invariants, Megatron tensor slicing, pipeline, 3D parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ColumnParallelLinear,
+    DDPTrainer,
+    PipelineSchedule,
+    RowParallelLinear,
+    TensorParallelMLP,
+    ThreeDConfig,
+    ThreeDModel,
+    best_threed_config,
+    megatron_comm_bytes_per_block,
+    pipeline_bubble_fraction,
+)
+from repro.baselines.pipeline import balanced_stage_split
+from repro.hardware import dgx2_cluster
+from repro.nn import GPTModel, Linear, MLP, TransformerConfig
+from repro.utils.rng import seeded_rng
+
+
+def tiny_factory():
+    cfg = TransformerConfig(
+        num_layers=1, hidden_dim=16, num_heads=2, vocab_size=32, max_seq=8
+    )
+    return GPTModel(cfg, rng=seeded_rng(5))
+
+
+class TestDDP:
+    def test_replicas_stay_in_sync(self, rng):
+        ddp = DDPTrainer(tiny_factory, world_size=3, lr=1e-2)
+        for _ in range(3):
+            batches = [
+                (rng.integers(0, 32, (2, 4)), rng.integers(0, 32, (2, 4)))
+                for _ in range(3)
+            ]
+            ddp.train_step(batches)
+        assert ddp.replicas_in_sync()
+
+    def test_identical_batches_identical_losses(self, rng):
+        ddp = DDPTrainer(tiny_factory, world_size=2, lr=1e-2)
+        b = (rng.integers(0, 32, (2, 4)), rng.integers(0, 32, (2, 4)))
+        losses = ddp.train_step([b, b])
+        assert losses[0] == pytest.approx(losses[1])
+
+    def test_wrong_batch_count_raises(self, rng):
+        ddp = DDPTrainer(tiny_factory, world_size=2)
+        with pytest.raises(ValueError):
+            ddp.train_step([(np.zeros((1, 2), dtype=int),) * 2])
+
+    def test_memory_redundancy(self):
+        """DDP's defining property: full replication (what ZeRO removes)."""
+        ddp = DDPTrainer(tiny_factory, world_size=4)
+        sizes = [
+            sum(p.nbytes for p in m.parameters()) for m in ddp.replicas
+        ]
+        assert len(set(sizes)) == 1 and sizes[0] > 0  # 4 full copies
+
+
+class TestMegatronLinears:
+    def test_column_parallel_matches_dense(self, rng):
+        dense = Linear(8, 12, rng=seeded_rng(0))
+        col = ColumnParallelLinear.from_linear(dense, mp=4, gather_output=True)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        np.testing.assert_allclose(col(x), dense(x), rtol=1e-5)
+
+    def test_row_parallel_matches_dense(self, rng):
+        dense = Linear(12, 8, rng=seeded_rng(1))
+        row = RowParallelLinear.from_linear(dense, mp=3)
+        x = rng.standard_normal((3, 12)).astype(np.float32)
+        np.testing.assert_allclose(row(x), dense(x), rtol=1e-5)
+
+    def test_column_backward_matches_dense(self, rng):
+        dense = Linear(8, 12, rng=seeded_rng(2))
+        col = ColumnParallelLinear.from_linear(dense, mp=2, gather_output=True)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        g = rng.standard_normal((3, 12)).astype(np.float32)
+        dense(x)
+        gx_dense = dense.backward(g.copy())
+        col(x)
+        gx_col = col.backward(g.copy())
+        np.testing.assert_allclose(gx_col, gx_dense, rtol=1e-5, atol=1e-6)
+
+    def test_mlp_matches_serial(self, rng):
+        hd = 8
+        serial = MLP(hd, rng=seeded_rng(3))
+        tp = TensorParallelMLP(hd, mp=4, rng=seeded_rng(99))
+        # copy serial weights into the parallel shards
+        tp.fc_in = ColumnParallelLinear.from_linear(serial.fc_in, mp=4)
+        tp.fc_out = RowParallelLinear.from_linear(serial.fc_out, mp=4)
+        x = rng.standard_normal((2, 3, hd)).astype(np.float32)
+        np.testing.assert_allclose(tp(x), serial(x), rtol=1e-4, atol=1e-5)
+
+    def test_mlp_backward_matches_serial(self, rng):
+        hd = 8
+        serial = MLP(hd, rng=seeded_rng(3))
+        tp = TensorParallelMLP(hd, mp=2, rng=seeded_rng(99))
+        tp.fc_in = ColumnParallelLinear.from_linear(serial.fc_in, mp=2)
+        tp.fc_out = RowParallelLinear.from_linear(serial.fc_out, mp=2)
+        x = rng.standard_normal((2, hd)).astype(np.float32)
+        g = rng.standard_normal((2, hd)).astype(np.float32)
+        serial(x)
+        gx_s = serial.backward(g.copy())
+        tp(x)
+        gx_p = tp.backward(g.copy())
+        np.testing.assert_allclose(gx_p, gx_s, rtol=1e-4, atol=1e-5)
+
+    def test_indivisible_mp_raises(self):
+        with pytest.raises(ValueError):
+            ColumnParallelLinear(8, 10, mp=3)
+        with pytest.raises(ValueError):
+            RowParallelLinear(10, 8, mp=3)
+
+    def test_comm_volume_formula(self):
+        assert megatron_comm_bytes_per_block(bsz=4, seq=128, hidden_dim=256) == (
+            2 * 4 * 128 * 256 * 2
+        )
+
+
+class TestPipeline:
+    def test_bubble_formula(self):
+        assert pipeline_bubble_fraction(4, 12) == pytest.approx(3 / 15)
+        assert pipeline_bubble_fraction(1, 8) == 0.0
+
+    def test_bubble_shrinks_with_microbatches(self):
+        fracs = [pipeline_bubble_fraction(8, m) for m in (8, 16, 64, 256)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_schedule_times(self):
+        s = PipelineSchedule(pp=4, microbatches=8, stage_time=1.0)
+        assert s.total_time == 11.0
+        assert s.ideal_time == 8.0
+        assert s.efficiency == pytest.approx(8 / 11)
+
+    def test_stage_grid_structure(self):
+        s = PipelineSchedule(pp=3, microbatches=4, stage_time=1.0)
+        grid = s.stage_grid()
+        assert grid[0] == [0, -1, -1]  # only stage 0 busy at slot 0
+        assert grid[2] == [2, 1, 0]
+        # every microbatch visits every stage exactly once
+        for stage in range(3):
+            visits = [row[stage] for row in grid if row[stage] >= 0]
+            assert visits == [0, 1, 2, 3]
+
+    def test_balanced_split_even_costs(self):
+        stages = balanced_stage_split([1.0] * 8, 4)
+        assert [len(s) for s in stages] == [2, 2, 2, 2]
+
+    def test_balanced_split_skewed_costs(self):
+        """One heavy layer should sit alone in its stage."""
+        stages = balanced_stage_split([1, 1, 1, 10, 1, 1], 3)
+        heavy_stage = [s for s in stages if 3 in s]
+        assert heavy_stage == [[3]]
+
+    def test_fewer_layers_than_stages_raises(self):
+        """The refactoring constraint of 3D parallelism (Sec. 2)."""
+        with pytest.raises(ValueError):
+            balanced_stage_split([1.0, 1.0], 3)
+
+    def test_invalid_schedule_raises(self):
+        with pytest.raises(ValueError):
+            PipelineSchedule(pp=0, microbatches=4, stage_time=1.0)
+
+
+class TestThreeD:
+    def test_memory_per_param(self):
+        cluster = dgx2_cluster(2)
+        model = ThreeDModel(cluster, ThreeDConfig(mp=4, pp=2, dp=4))
+        assert model.gpu_bytes_per_param() == pytest.approx(20 / 32)
+
+    def test_config_must_cover_cluster(self):
+        with pytest.raises(ValueError):
+            ThreeDModel(dgx2_cluster(1), ThreeDConfig(mp=4, pp=2, dp=4))
+
+    def test_mp_within_node(self):
+        with pytest.raises(ValueError):
+            ThreeDModel(dgx2_cluster(2), ThreeDConfig(mp=32, pp=1, dp=1))
+
+    def test_scale_ceiling_fig1(self):
+        """Fig. 1: 3D parallelism tops out near 650B on 512 GPUs."""
+        from repro.core.config import Strategy
+        from repro.core.scale import max_model_size
+
+        r = max_model_size(
+            Strategy.THREED, dgx2_cluster(32), mp_degree=4, bsz_per_gpu=1
+        )
+        assert 4e11 < r.max_params < 9e11
+
+    def test_pipeline_needs_enough_layers(self):
+        cluster = dgx2_cluster(32)
+        model = ThreeDModel(cluster, ThreeDConfig(mp=4, pp=64, dp=2))
+        ok, why = model.fits(
+            int(1e12),
+            hidden_dim=25600,
+            num_layers=32,  # fewer than 64 stages
+            attn_heads=256,
+            bsz_per_gpu=1,
+        )
+        assert not ok and "stage" in why
+
+    def test_step_time_oom_reported(self):
+        cluster = dgx2_cluster(1)
+        model = ThreeDModel(cluster, ThreeDConfig(mp=4, pp=1, dp=4))
+        t = model.step_time(
+            int(1e12), hidden_dim=25600, num_layers=128, attn_heads=256,
+            bsz_per_gpu=1,
+        )
+        assert not t.fits
+        assert t.tflops_per_gpu == 0.0
+
+    def test_efficient_when_it_fits(self):
+        """Fig. 5a: at 0.5T on 512 GPUs, 3D parallelism is competitive."""
+        cluster = dgx2_cluster(32)
+        cfg, t = best_threed_config(
+            cluster,
+            int(0.5e12),
+            hidden_dim=18432,
+            num_layers=124,
+            attn_heads=64,
+            bsz_per_gpu=7,
+        )
+        assert cfg is not None
+        assert t.tflops_per_gpu > 35.0  # on par with ZeRO-Infinity's ~49
+
+    def test_best_config_none_when_too_big(self):
+        cfg, t = best_threed_config(
+            dgx2_cluster(1),
+            int(5e12),
+            hidden_dim=48 * 1024,
+            num_layers=174,
+            attn_heads=256,
+            bsz_per_gpu=1,
+        )
+        assert cfg is None and t is None
+
+    def test_bubble_hurts_small_microbatch_counts(self):
+        cluster = dgx2_cluster(32)
+        model = ThreeDModel(cluster, ThreeDConfig(mp=4, pp=8, dp=16))
+        kw = dict(
+            hidden_dim=18432, num_layers=124, attn_heads=64, bsz_per_gpu=2
+        )
+        fast = model.step_time(int(0.5e12), microbatches=64, **kw)
+        slow = model.step_time(int(0.5e12), microbatches=8, **kw)
+        assert slow.total > fast.total

@@ -1,0 +1,111 @@
+"""CLI subcommands produce the expected tables and exit codes."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestScale:
+    def test_default_table(self, capsys):
+        assert main(["scale", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "zero-inf-nvme" in out
+        assert "1.40T" in out
+
+    def test_single_strategy(self, capsys):
+        assert main(["scale", "--nodes", "1", "--strategy", "zero-3"]) == 0
+        out = capsys.readouterr().out
+        assert "zero-3" in out
+        assert "data-parallel" not in out
+
+
+class TestThroughput:
+    def test_known_config(self, capsys):
+        assert main(["throughput", "--config", "10B-1node"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPs/GPU" in out
+
+    def test_unknown_config_exit_code(self, capsys):
+        assert main(["throughput", "--config", "nope"]) == 2
+        assert "unknown config" in capsys.readouterr().err
+
+    def test_node_override(self, capsys):
+        assert main(
+            ["throughput", "--config", "1T-32node", "--nodes", "8", "--accum", "2"]
+        ) == 0
+        assert "8 node(s)" in capsys.readouterr().out
+
+
+class TestMemory:
+    def test_gpt3_profile(self, capsys):
+        assert main(
+            ["memory", "--layers", "96", "--hidden", "12288", "--heads", "96"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "173.95B" in out  # ~175B params via Eq. (1)
+        assert "model states" in out
+        assert "3.48 TB" in out  # 20 bytes x 174B params
+
+
+class TestEfficiency:
+    def test_headline_numbers(self, capsys):
+        assert main(["efficiency", "--target", "0.9", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer" in out
+        assert "TB/s" in out  # the ~1.23 TB/s optimizer row
+
+
+class TestPlan:
+    def test_1t_single_node_plan(self, capsys):
+        assert main(["plan", "--params", "1T", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "nvme" in out
+        assert "Placement plan" in out
+
+    def test_10b_stays_on_gpu(self, capsys):
+        assert main(["plan", "--params", "10B", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fp16 params+grads" in out and "gpu" in out
+
+    def test_unfittable_returns_error(self, capsys):
+        assert main(["plan", "--params", "100T", "--nodes", "1"]) == 1
+        assert "does not fit" in capsys.readouterr().err
+
+
+class TestTrainDemo:
+    @pytest.mark.parametrize("offload", ["gpu", "nvme"])
+    def test_demo_runs_and_learns(self, capsys, offload):
+        assert main(
+            [
+                "train-demo",
+                "--world",
+                "2",
+                "--steps",
+                "4",
+                "--hidden",
+                "32",
+                "--offload",
+                offload,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "done: loss" in out
+
+
+class TestDoctor:
+    def test_all_checks_pass(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "all systems nominal" in out
+        assert out.count("[ok  ]") == 4
+        assert "[FAIL]" not in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])

@@ -1,0 +1,223 @@
+"""Functional collectives, process-group accounting, and cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CollectiveCostModel,
+    ProcessGroup,
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    gather,
+    reduce_scatter,
+    scatter,
+)
+from repro.comm.cost import broadcast_time, ring_allgather_time, ring_allreduce_time
+from repro.hardware.devices import NVLINK_V100
+
+
+def shards_for(world, n=6, dtype=np.float32):
+    return [np.arange(n, dtype=dtype) + 100 * r for r in range(world)]
+
+
+class TestBroadcast:
+    def test_all_ranks_get_root_copy(self):
+        bufs = [np.array([1.0, 2.0]), None, None]
+        out = broadcast(bufs, root=0)
+        for o in out:
+            np.testing.assert_array_equal(o, [1.0, 2.0])
+
+    def test_copies_are_independent(self):
+        out = broadcast([np.zeros(2), None], root=0)
+        out[0][0] = 5
+        assert out[1][0] == 0
+
+    def test_nonzero_root(self):
+        out = broadcast([None, np.array([7.0])], root=1)
+        assert out[0][0] == 7.0
+
+    def test_bad_root_raises(self):
+        with pytest.raises(ValueError):
+            broadcast([np.zeros(1)], root=1)
+
+    def test_none_root_raises(self):
+        with pytest.raises(ValueError):
+            broadcast([None, np.zeros(1)], root=0)
+
+
+class TestAllgather:
+    def test_rank_order_concat(self):
+        out = allgather([np.full(2, r, dtype=np.float32) for r in range(3)])
+        np.testing.assert_array_equal(out[0], [0, 0, 1, 1, 2, 2])
+        assert len(out) == 3
+
+    def test_uneven_shards(self):
+        out = allgather([np.array([1.0]), np.array([2.0, 3.0])])
+        np.testing.assert_array_equal(out[1], [1.0, 2.0, 3.0])
+
+    def test_multidim_shards_flatten(self):
+        out = allgather([np.ones((2, 2)), np.zeros((2, 2))])
+        assert out[0].shape == (8,)
+
+
+class TestReduceScatter:
+    def test_sum(self):
+        bufs = [np.arange(4, dtype=np.float32) for _ in range(2)]
+        out = reduce_scatter(bufs, op="sum")
+        np.testing.assert_array_equal(out[0], [0, 2])
+        np.testing.assert_array_equal(out[1], [4, 6])
+
+    def test_mean(self):
+        bufs = [np.full(4, 2.0), np.full(4, 4.0)]
+        out = reduce_scatter(bufs, op="mean")
+        np.testing.assert_array_equal(out[0], [3.0, 3.0])
+
+    def test_fp16_accumulates_in_fp32(self):
+        # many small fp16 values whose naive fp16 sum loses precision
+        bufs = [np.full(4, 0.001, dtype=np.float16) for _ in range(1000)]
+        out = allreduce(bufs, op="sum")
+        assert out[0].dtype == np.float16
+        assert float(out[0][0]) == pytest.approx(1.0, rel=0.01)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            reduce_scatter([np.zeros(5), np.zeros(5)])
+
+    def test_unequal_sizes_raise(self):
+        with pytest.raises(ValueError):
+            reduce_scatter([np.zeros(4), np.zeros(6)])
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            reduce_scatter([np.zeros(4), np.zeros(4)], op="median")
+
+
+class TestAllreduce:
+    def test_sum_equals_manual(self):
+        bufs = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        out = allreduce(bufs, op="sum")
+        for o in out:
+            np.testing.assert_array_equal(o, [4.0, 6.0])
+
+    def test_mean(self):
+        out = allreduce([np.zeros(2), np.full(2, 4.0)], op="mean")
+        np.testing.assert_array_equal(out[0], [2.0, 2.0])
+
+    def test_max(self):
+        out = allreduce([np.array([1.0, 9.0]), np.array([5.0, 2.0])], op="max")
+        np.testing.assert_array_equal(out[0], [5.0, 9.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            allreduce([np.zeros(2), np.zeros(3)])
+
+
+class TestScatterGather:
+    def test_scatter_splits_evenly(self):
+        out = scatter(np.arange(6), world=3)
+        np.testing.assert_array_equal(out[1], [2, 3])
+
+    def test_scatter_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            scatter(np.arange(5), world=2)
+
+    def test_gather_root_only(self):
+        out = gather([np.array([1]), np.array([2])], root=1)
+        assert out[0] is None
+        np.testing.assert_array_equal(out[1], [1, 2])
+
+    def test_alltoall_transpose(self):
+        mat = [[np.array([i * 10 + j]) for j in range(2)] for i in range(2)]
+        out = alltoall(mat)
+        assert out[1][0][0] == 1  # rank0 sent [0][1]=1 to rank 1
+
+    def test_alltoall_nonsquare_raises(self):
+        with pytest.raises(ValueError):
+            alltoall([[np.zeros(1)]* 2, [np.zeros(1)]])
+
+
+class TestCollectiveProperties:
+    @given(world=st.integers(1, 8), n=st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_scatter_then_allgather_is_allreduce(self, world, n):
+        """The ring-allreduce identity the paper's Sec. 6.1 argument uses."""
+        rng = np.random.default_rng(world * 100 + n)
+        padded = n * world
+        bufs = [rng.random(padded).astype(np.float32) for _ in range(world)]
+        rs = reduce_scatter(bufs, op="sum")
+        ag = allgather(rs)
+        ar = allreduce(bufs, op="sum")
+        np.testing.assert_allclose(ag[0], ar[0], rtol=1e-6)
+
+    @given(world=st.integers(1, 8), n=st.integers(0, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_scatter_allgather_roundtrip(self, world, n):
+        data = np.arange(n * world, dtype=np.float64)
+        out = allgather(scatter(data, world))
+        np.testing.assert_array_equal(out[0], data)
+
+
+class TestProcessGroup:
+    def test_volume_accounting_broadcast_equals_allgather(self):
+        """Sec. 6.1: 'both broadcast and allgather ... have the same
+        communication cost when it comes to data movement volume'."""
+        world, n = 4, 64
+        pg1 = ProcessGroup(world)
+        pg1.broadcast([np.zeros(n, dtype=np.float32)] + [None] * (world - 1))
+        pg2 = ProcessGroup(world)
+        pg2.allgather([np.zeros(n // world, dtype=np.float32) for _ in range(world)])
+        assert pg1.stats.total_bytes == pg2.stats.total_bytes > 0
+
+    def test_allreduce_twice_reduce_scatter_volume(self):
+        world, n = 4, 64
+        pg = ProcessGroup(world)
+        pg.allreduce([np.zeros(n, dtype=np.float32) for _ in range(world)])
+        pg2 = ProcessGroup(world)
+        pg2.reduce_scatter([np.zeros(n, dtype=np.float32) for _ in range(world)])
+        assert (
+            pg.stats.bytes_by_op["allreduce"]
+            == 2 * pg2.stats.bytes_by_op["reduce_scatter"]
+        )
+
+    def test_call_counters(self):
+        pg = ProcessGroup(2)
+        pg.barrier()
+        pg.allgather([np.zeros(2), np.zeros(2)])
+        assert pg.stats.total_calls == 2
+        pg.stats.reset()
+        assert pg.stats.total_calls == 0
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(0)
+
+
+class TestCostModels:
+    def test_single_rank_is_free(self):
+        assert ring_allgather_time(1e9, 1, NVLINK_V100) == 0.0
+
+    def test_allreduce_is_twice_allgather(self):
+        assert ring_allreduce_time(1e9, 8, NVLINK_V100) == pytest.approx(
+            2 * ring_allgather_time(1e9, 8, NVLINK_V100)
+        )
+
+    def test_broadcast_cost_equals_allgather(self):
+        # the Sec. 6.1 equivalence, in time units
+        assert broadcast_time(1e9, 16, NVLINK_V100) == ring_allgather_time(
+            1e9, 16, NVLINK_V100
+        )
+
+    def test_bandwidth_term_dominates_large_payloads(self):
+        t = ring_allgather_time(150e9, 2, NVLINK_V100)
+        # (p-1)/p = 1/2 of the payload over 150 GB/s = ~0.5 s
+        assert t == pytest.approx(0.5, rel=0.01)
+
+    def test_model_object(self):
+        m = CollectiveCostModel(NVLINK_V100, 8)
+        assert m.allreduce(1e9) == pytest.approx(2 * m.allgather(1e9))
+        assert m.broadcast(1e9) == m.allgather(1e9)
+        assert m.reduce_scatter(1e9) == m.allgather(1e9)

@@ -1,0 +1,108 @@
+"""Configuration validation: every bad config fails at construction."""
+
+import pytest
+
+from repro.core.config import (
+    OffloadConfig,
+    OffloadDevice,
+    Strategy,
+    ZeroConfig,
+    ZeroStage,
+    config_for_strategy,
+    STRATEGY_PRESETS,
+)
+
+
+class TestZeroConfigValidation:
+    def test_param_offload_requires_stage3(self):
+        """Parameters can only be offloaded once they are partitioned."""
+        with pytest.raises(ValueError, match="stage 3"):
+            ZeroConfig(
+                world_size=2,
+                stage=ZeroStage.GRADIENTS,
+                offload=OffloadConfig(param_device=OffloadDevice.CPU),
+            )
+
+    def test_grad_and_optimizer_offload_fine_below_stage3(self):
+        ZeroConfig(
+            world_size=2,
+            stage=ZeroStage.GRADIENTS,
+            offload=OffloadConfig(
+                grad_device=OffloadDevice.CPU,
+                optimizer_device=OffloadDevice.NVME,
+            ),
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"world_size": 0},
+            {"world_size": 2, "prefetch_depth": -1},
+            {"world_size": 2, "reduce_op": "median"},
+            {"world_size": 2, "tile_factor": 0},
+            {"world_size": 2, "param_persistence_threshold_numel": -5},
+        ],
+    )
+    def test_rejects_invalid_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ZeroConfig(**kwargs)
+
+    def test_defaults_are_stage3_bandwidth_centric(self):
+        cfg = ZeroConfig(world_size=4)
+        assert cfg.stage is ZeroStage.PARAMETERS
+        assert cfg.bandwidth_centric
+        assert cfg.overlap_comm
+
+
+class TestOffloadConfigValidation:
+    def test_any_nvme_detection(self):
+        assert OffloadConfig(optimizer_device=OffloadDevice.NVME).any_nvme
+        assert OffloadConfig(
+            activation_device=OffloadDevice.NVME
+        ).any_nvme
+        assert not OffloadConfig(param_device=OffloadDevice.CPU).any_nvme
+
+
+class TestStrategyPresets:
+    def test_every_engine_strategy_has_a_preset(self):
+        for s in Strategy:
+            if s is Strategy.THREED:
+                continue
+            assert s in STRATEGY_PRESETS
+
+    def test_presets_match_table2_placements(self):
+        """The Table 2 semantics, literally."""
+        dp = STRATEGY_PRESETS[Strategy.DATA_PARALLEL]
+        assert dp.stage is ZeroStage.NONE
+
+        z2 = STRATEGY_PRESETS[Strategy.ZERO_2]
+        assert z2.stage is ZeroStage.GRADIENTS
+        assert z2.offload.optimizer_device is OffloadDevice.NONE
+
+        zoff = STRATEGY_PRESETS[Strategy.ZERO_OFFLOAD]
+        assert zoff.stage is ZeroStage.GRADIENTS
+        assert zoff.offload.optimizer_device is OffloadDevice.CPU
+        assert not zoff.bandwidth_centric  # broadcast-based (Sec. 6.1)
+
+        inf_cpu = STRATEGY_PRESETS[Strategy.ZERO_INF_CPU]
+        assert inf_cpu.stage is ZeroStage.PARAMETERS
+        assert inf_cpu.offload.param_device is OffloadDevice.CPU
+
+        inf_nvme = STRATEGY_PRESETS[Strategy.ZERO_INF_NVME]
+        assert inf_nvme.offload.param_device is OffloadDevice.NVME
+        assert inf_nvme.bandwidth_centric
+
+    def test_config_for_strategy_sets_world(self):
+        cfg = config_for_strategy(Strategy.ZERO_3, world_size=8)
+        assert cfg.world_size == 8
+        assert cfg.stage is ZeroStage.PARAMETERS
+
+    def test_config_for_threed_rejected(self):
+        with pytest.raises(ValueError, match="baselines"):
+            config_for_strategy(Strategy.THREED, world_size=8)
+
+    def test_overrides_apply(self):
+        cfg = config_for_strategy(
+            Strategy.ZERO_3, world_size=4, prefetch_depth=7
+        )
+        assert cfg.prefetch_depth == 7

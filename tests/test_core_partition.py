@@ -1,0 +1,299 @@
+"""Parameter partitioning and the infinity offload engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.group import ProcessGroup
+from repro.core.config import OffloadConfig, OffloadDevice
+from repro.core.offload import InfinityOffloadEngine
+from repro.core.partition import ParameterPartitioner
+from repro.hardware.memory import MemoryLedger
+from repro.nn.parameter import Parameter, PartitionState
+from repro.utils.rng import seeded_rng
+
+
+def make_partitioner(world=4, device=OffloadDevice.NONE, **kw):
+    cfg = OffloadConfig(
+        param_device=device,
+        pinned_budget_bytes=1 << 20,
+    )
+    offload = InfinityOffloadEngine(cfg)
+    return ParameterPartitioner(world, offload=offload, **kw), offload
+
+
+class TestPartitionGatherRoundtrip:
+    @pytest.mark.parametrize("device", list(OffloadDevice))
+    @pytest.mark.parametrize("world", [1, 2, 3, 7])
+    def test_roundtrip_identity(self, device, world, rng):
+        part, offload = make_partitioner(world, device)
+        try:
+            original = rng.standard_normal((5, 7)).astype(np.float32)
+            p = Parameter(original.copy(), name="w")
+            part.partition(p)
+            assert p.state is PartitionState.PARTITIONED
+            assert p.data.size == 0
+            part.gather(p)
+            assert p.state is PartitionState.AVAILABLE
+            np.testing.assert_array_equal(p.data, original)
+        finally:
+            offload.close()
+
+    def test_gather_idempotent(self, rng):
+        part, offload = make_partitioner(2)
+        p = Parameter(rng.standard_normal(6).astype(np.float32))
+        part.partition(p)
+        part.gather(p)
+        data = p.data
+        part.gather(p)  # second gather is a no-op
+        assert p.data is data
+        offload.close()
+
+    def test_release_drops_full_tensor(self, rng):
+        part, offload = make_partitioner(2)
+        p = Parameter(rng.standard_normal(6).astype(np.float32))
+        part.partition(p)
+        part.gather(p)
+        part.release(p)
+        assert p.state is PartitionState.PARTITIONED
+        assert p.data.size == 0
+        part.gather(p)  # can be gathered again from shards
+        assert p.data.size == 6
+        offload.close()
+
+    def test_double_partition_raises(self, rng):
+        part, offload = make_partitioner(2)
+        p = Parameter(rng.standard_normal(4).astype(np.float32))
+        part.partition(p)
+        with pytest.raises(RuntimeError):
+            part.partition(p)
+        offload.close()
+
+    def test_gather_unpartitioned_with_no_meta_raises(self):
+        part, offload = make_partitioner(2)
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.state = PartitionState.PARTITIONED  # corrupt state
+        with pytest.raises(RuntimeError):
+            part.gather(p)
+        offload.close()
+
+    @given(
+        numel=st.integers(1, 200),
+        world=st.integers(1, 9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, numel, world):
+        part, offload = make_partitioner(world)
+        original = np.arange(numel, dtype=np.float32)
+        p = Parameter(original.copy())
+        part.partition(p)
+        part.gather(p)
+        np.testing.assert_array_equal(p.data, original)
+        offload.close()
+
+
+class TestShardUpdate:
+    def test_update_then_gather_sees_new_values(self, rng):
+        world = 4
+        part, offload = make_partitioner(world)
+        p = Parameter(np.zeros(8, dtype=np.float32))
+        part.partition(p)
+        for r in range(world):
+            part.update_shard(p, r, np.full(2, float(r), dtype=np.float32))
+        part.gather(p)
+        np.testing.assert_array_equal(
+            p.data, [0, 0, 1, 1, 2, 2, 3, 3]
+        )
+        offload.close()
+
+    def test_wrong_shard_size_raises(self):
+        part, offload = make_partitioner(2)
+        p = Parameter(np.zeros(8, dtype=np.float32))
+        part.partition(p)
+        with pytest.raises(ValueError):
+            part.update_shard(p, 0, np.zeros(3, dtype=np.float32))
+        offload.close()
+
+    def test_get_shard_matches_slice(self, rng):
+        world = 3
+        part, offload = make_partitioner(world)
+        data = rng.standard_normal(10).astype(np.float32)
+        p = Parameter(data.copy())
+        part.partition(p)
+        padded = np.zeros(12, dtype=np.float32)
+        padded[:10] = data
+        for r in range(world):
+            np.testing.assert_array_equal(
+                part.get_shard(p, r), padded[r * 4 : (r + 1) * 4]
+            )
+        offload.close()
+
+
+class TestOwnerLayout:
+    """bandwidth_centric=False: single-owner, broadcast-based (ZeRO-Offload)."""
+
+    def test_roundtrip(self, rng):
+        part, offload = make_partitioner(4, bandwidth_centric=False)
+        original = rng.standard_normal(10).astype(np.float32)
+        p = Parameter(original.copy())
+        part.partition(p)
+        assert p.zero_meta.owner_rank is not None
+        part.gather(p)
+        np.testing.assert_array_equal(p.data, original)
+        offload.close()
+
+    def test_owner_round_robin(self, rng):
+        part, offload = make_partitioner(4, bandwidth_centric=False)
+        owners = []
+        for _ in range(8):
+            p = Parameter(rng.standard_normal(4).astype(np.float32))
+            part.partition(p)
+            owners.append(p.zero_meta.owner_rank)
+        assert owners == [0, 1, 2, 3, 0, 1, 2, 3]
+        offload.close()
+
+    def test_update_shard_in_owner_layout(self):
+        part, offload = make_partitioner(2, bandwidth_centric=False)
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        part.partition(p)
+        part.update_shard(p, 1, np.full(2, 9.0, dtype=np.float32))
+        part.gather(p)
+        np.testing.assert_array_equal(p.data, [0, 0, 9, 9])
+        offload.close()
+
+
+class TestBandwidthCentricClaim:
+    """Sec. 6.1: sharded layout spreads host-link traffic across all ranks;
+    owner layout concentrates each parameter's bytes on one link."""
+
+    def _traffic(self, bandwidth_centric, world=4):
+        cfg = OffloadConfig(param_device=OffloadDevice.CPU)
+        offload = InfinityOffloadEngine(cfg)
+        part = ParameterPartitioner(
+            world, offload=offload, bandwidth_centric=bandwidth_centric
+        )
+        rng = seeded_rng(0)
+        for _ in range(1):
+            p = Parameter(rng.standard_normal(1024).astype(np.float32))
+            part.partition(p)
+            part.gather(p)
+            part.release(p)
+        counters = offload.counters
+        offload.close()
+        return counters
+
+    def test_sharded_uses_all_links_equally(self):
+        c = self._traffic(True)
+        assert len(c.host_link_bytes) == 4
+        values = list(c.host_link_bytes.values())
+        assert max(values) == min(values)
+
+    def test_owner_concentrates_on_one_link(self):
+        c = self._traffic(False)
+        assert len(c.host_link_bytes) == 1
+
+    def test_total_volume_equal_but_max_link_lower(self):
+        """Same bytes moved; per-link max is 1/dp with sharding."""
+        sharded = self._traffic(True)
+        owner = self._traffic(False)
+        assert sharded.total_link_bytes == owner.total_link_bytes
+        # the busiest link carries ~1/dp of the owner layout's load
+        assert sharded.max_link_bytes == pytest.approx(
+            owner.max_link_bytes / 4, rel=0.01
+        )
+
+
+class TestOffloadEngine:
+    def test_stash_fetch_gpu_tier(self):
+        eng = InfinityOffloadEngine(OffloadConfig())
+        eng.stash("k", np.arange(4, dtype=np.float32), OffloadDevice.NONE, rank=0)
+        np.testing.assert_array_equal(eng.fetch("k", rank=0), [0, 1, 2, 3])
+        eng.close()
+
+    def test_fetch_returns_copy(self):
+        eng = InfinityOffloadEngine(OffloadConfig())
+        eng.stash("k", np.zeros(4, dtype=np.float32), OffloadDevice.CPU, rank=0)
+        a = eng.fetch("k", rank=0)
+        a[:] = 9
+        b = eng.fetch("k", rank=0)
+        assert np.all(b == 0)
+        eng.close()
+
+    def test_missing_key_raises(self):
+        eng = InfinityOffloadEngine(OffloadConfig())
+        with pytest.raises(KeyError):
+            eng.fetch("ghost", rank=0)
+        eng.close()
+
+    def test_nvme_roundtrip(self):
+        cfg = OffloadConfig(param_device=OffloadDevice.NVME)
+        eng = InfinityOffloadEngine(cfg)
+        data = np.arange(100, dtype=np.float16)
+        eng.stash("k", data, OffloadDevice.NVME, rank=2)
+        out = eng.fetch("k", rank=2)
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(out, data)
+        assert eng.counters.nvme_write_bytes == 200
+        assert eng.counters.nvme_read_bytes == 200
+        eng.close()
+
+    def test_nvme_without_store_raises(self):
+        eng = InfinityOffloadEngine(OffloadConfig())
+        with pytest.raises(RuntimeError):
+            eng.stash("k", np.zeros(1), OffloadDevice.NVME, rank=0)
+        eng.close()
+
+    def test_prefetch_hit_path(self):
+        cfg = OffloadConfig(param_device=OffloadDevice.NVME)
+        eng = InfinityOffloadEngine(cfg)
+        data = np.arange(64, dtype=np.float32)
+        eng.stash("k", data, OffloadDevice.NVME, rank=0)
+        assert eng.prefetch("k", rank=0)
+        out = eng.fetch("k", rank=0)
+        np.testing.assert_array_equal(out, data)
+        assert eng.counters.prefetch_hits == 1
+        assert eng.counters.prefetch_misses == 0
+        eng.close()
+
+    def test_fetch_without_prefetch_counts_miss(self):
+        cfg = OffloadConfig(param_device=OffloadDevice.NVME)
+        eng = InfinityOffloadEngine(cfg)
+        eng.stash("k", np.zeros(8, dtype=np.float32), OffloadDevice.NVME, rank=0)
+        eng.fetch("k", rank=0)
+        assert eng.counters.prefetch_misses == 1
+        eng.close()
+
+    def test_prefetch_resident_tier_noop(self):
+        eng = InfinityOffloadEngine(OffloadConfig())
+        eng.stash("k", np.zeros(4, dtype=np.float32), OffloadDevice.CPU, rank=0)
+        assert not eng.prefetch("k", rank=0)
+        eng.close()
+
+    def test_discard_cancels_and_removes(self):
+        cfg = OffloadConfig(param_device=OffloadDevice.NVME)
+        eng = InfinityOffloadEngine(cfg)
+        eng.stash("k", np.zeros(8, dtype=np.float32), OffloadDevice.NVME, rank=0)
+        eng.prefetch("k", rank=0)
+        eng.discard("k")
+        assert not eng.contains("k")
+        eng.close()
+
+    def test_ledger_accounting_cpu(self):
+        led = MemoryLedger()
+        eng = InfinityOffloadEngine(OffloadConfig(), ledger=led)
+        eng.stash("k", np.zeros(100, dtype=np.float32), OffloadDevice.CPU, rank=0)
+        assert led.used_by_kind("cpu") == 400
+        eng.discard("k")
+        assert led.used_by_kind("cpu") == 0
+        eng.close()
+
+    def test_tier_migration_updates_accounting(self):
+        led = MemoryLedger()
+        eng = InfinityOffloadEngine(OffloadConfig(), ledger=led)
+        eng.stash("k", np.zeros(10, dtype=np.float32), OffloadDevice.NONE, rank=1)
+        assert led.used_by_kind("gpu") == 40
+        eng.stash("k", np.zeros(10, dtype=np.float32), OffloadDevice.CPU, rank=1)
+        assert led.used_by_kind("gpu") == 0
+        assert led.used_by_kind("cpu") == 40
+        eng.close()

@@ -1,0 +1,34 @@
+"""Every example script runs to completion (the deliverable stays green)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_all_examples_discovered():
+    """The suite covers at least the five documented scenarios."""
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip()  # every example narrates what it did

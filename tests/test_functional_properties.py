@@ -1,0 +1,136 @@
+"""Property-based tests of the numeric kernels' mathematical structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+
+floats = st.floats(-3, 3, allow_nan=False, width=32)
+
+
+def arr(shape_strategy):
+    return hnp.arrays(np.float32, shape_strategy, elements=floats)
+
+
+small2d = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+class TestLinearProperties:
+    @given(
+        x=arr(st.just((3, 4))),
+        w=arr(st.just((5, 4))),
+        a=st.floats(-2, 2, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_forward_linear_in_input(self, x, w, a):
+        """linear(a*x) == a*linear(x) (no bias)."""
+        y1, _ = F.linear_fwd(np.float32(a) * x, w, None)
+        y2, _ = F.linear_fwd(x, w, None)
+        np.testing.assert_allclose(y1, np.float32(a) * y2, rtol=1e-4, atol=1e-4)
+
+    @given(x=arr(st.just((3, 4))), w=arr(st.just((5, 4))), g=arr(st.just((3, 5))))
+    @settings(max_examples=50, deadline=None)
+    def test_backward_is_adjoint(self, x, w, g):
+        """<g, fwd(x)> == <bwd(g), x> — the defining adjoint identity."""
+        y, cache = F.linear_fwd(x, w, None)
+        gx, _, _ = F.linear_bwd(g, cache)
+        lhs = float((g * y).sum())
+        rhs = float((gx * x).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
+
+
+class TestSoftmaxProperties:
+    @given(x=arr(small2d))
+    @settings(max_examples=80, deadline=None)
+    def test_simplex_output(self, x):
+        p, _ = F.softmax_fwd(x)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(-1), 1.0, rtol=1e-3)
+
+    @given(x=arr(small2d), g=st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_gradient_orthogonal_to_ones(self, x, g):
+        """d(softmax)/dx maps constants to zero: rows of the Jacobian sum
+        to 0, so backward of a constant grad is ~0."""
+        p, cache = F.softmax_fwd(x)
+        gx = F.softmax_bwd(np.full_like(p, np.float32(g)), cache)
+        np.testing.assert_allclose(gx, 0.0, atol=1e-3)
+
+
+class TestLayerNormProperties:
+    @given(x=arr(st.tuples(st.integers(1, 5), st.just(8))))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_scale_invariance(self, x):
+        """LN(a*x + b) == LN(x) for scalar a>0, b (with unit affine).
+
+        Exact only in the var >> eps regime — LN's epsilon deliberately
+        breaks scale invariance for near-constant rows — so assume away
+        low-variance inputs.
+        """
+        from hypothesis import assume
+
+        assume(float(x.var(axis=-1).min()) > 0.5)
+        gain, bias = np.ones(8, np.float32), np.zeros(8, np.float32)
+        y1, _ = F.layernorm_fwd(x, gain, bias)
+        y2, _ = F.layernorm_fwd(np.float32(3.0) * x + np.float32(7.0), gain, bias)
+        np.testing.assert_allclose(y1, y2, rtol=1e-3, atol=1e-3)
+
+
+class TestGeluProperties:
+    @given(x=arr(st.just((16,))))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_below_and_asymptotic(self, x):
+        y, _ = F.gelu_fwd(x)
+        assert np.all(y >= -0.18)  # gelu's global minimum is ~-0.17
+        big = np.float32(20.0) * np.ones(4, np.float32)
+        yb, _ = F.gelu_fwd(big)
+        np.testing.assert_allclose(yb, big, rtol=1e-5)
+
+
+class TestCrossEntropyProperties:
+    @given(
+        logits=arr(st.tuples(st.integers(1, 5), st.just(7))),
+        shift=st.floats(-10, 10, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, logits, shift):
+        targets = np.arange(logits.shape[0]) % 7
+        l1, _ = F.cross_entropy_fwd(logits, targets)
+        l2, _ = F.cross_entropy_fwd(logits + np.float32(shift), targets)
+        assert l1 == pytest.approx(l2, rel=1e-3, abs=1e-4)
+
+    @given(logits=arr(st.tuples(st.integers(1, 5), st.just(7))))
+    @settings(max_examples=50, deadline=None)
+    def test_loss_nonnegative(self, logits):
+        targets = np.zeros(logits.shape[0], dtype=np.int64)
+        loss, _ = F.cross_entropy_fwd(logits, targets)
+        assert loss >= 0.0
+
+
+class TestAttentionProperties:
+    @given(
+        q=arr(st.just((1, 1, 4, 4))),
+        k=arr(st.just((1, 1, 4, 4))),
+        v=arr(st.just((1, 1, 4, 4))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_value_convex_hull(self, q, k, v):
+        """Attention output is a convex combination of value rows, so each
+        output coordinate lies within that coordinate's value range."""
+        ctx, _ = F.attention_scores_fwd(q, k, v, causal=False)
+        vmin = v.min(axis=2, keepdims=True)
+        vmax = v.max(axis=2, keepdims=True)
+        assert np.all(ctx >= vmin - 1e-3)
+        assert np.all(ctx <= vmax + 1e-3)
+
+    @given(v=arr(st.just((1, 1, 4, 4))))
+    @settings(max_examples=30, deadline=None)
+    def test_first_position_is_first_value_when_causal(self, v):
+        """Causal position 0 can only attend to itself."""
+        q = np.ones((1, 1, 4, 4), np.float32)
+        k = np.ones((1, 1, 4, 4), np.float32)
+        ctx, _ = F.attention_scores_fwd(q, k, v, causal=True)
+        np.testing.assert_allclose(ctx[0, 0, 0], v[0, 0, 0], rtol=1e-4, atol=1e-5)

@@ -1,0 +1,101 @@
+"""JSONL metrics logging: durability, reload, and trainer integration."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ZeroConfig, ZeroInfinityEngine
+from repro.nn import GPTModel, TransformerConfig
+from repro.utils.rng import seeded_rng
+from repro.workloads import (
+    ConstantSchedule,
+    MarkovCorpus,
+    MetricsLogger,
+    Trainer,
+    TrainerConfig,
+    iter_losses,
+    per_rank_batches,
+    read_metrics,
+)
+
+
+class TestMetricsLogger:
+    def test_log_and_reload(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with MetricsLogger(path, run_name="exp1") as log:
+            log.log("config", world=4)
+            log.log_step(0, 3.5, 1e-3)
+            log.log_step(1, 3.2, 1e-3, skipped=False)
+        records = read_metrics(path)
+        assert len(records) == 3
+        assert records[0]["run"] == "exp1"
+        assert records[1]["event"] == "step"
+        assert [r["seq"] for r in records] == [0, 1, 2]
+
+    def test_event_filter(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with MetricsLogger(path) as log:
+            log.log("config", a=1)
+            log.log_step(0, 1.0, 0.1)
+        assert len(read_metrics(path, event="step")) == 1
+
+    def test_append_mode_across_sessions(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with MetricsLogger(path) as log:
+            log.log_step(0, 3.0, 1e-3)
+        with MetricsLogger(path) as log:
+            log.log_step(1, 2.5, 1e-3)
+        assert len(list(iter_losses(path))) == 2
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with MetricsLogger(path) as log:
+            log.log_step(0, 3.0, 1e-3)
+        with open(path, "a") as fh:
+            fh.write('{"event": "step", "step": 1, "lo')  # simulated crash
+        losses = list(iter_losses(path))
+        assert losses == [(0, 3.0)]
+
+    def test_iter_losses_order(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with MetricsLogger(path) as log:
+            for s in range(5):
+                log.log_step(s, 5.0 - s, 1e-3)
+        steps = [s for s, _ in iter_losses(path)]
+        assert steps == list(range(5))
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "run.jsonl")
+        with MetricsLogger(path) as log:
+            log.log("x")
+        assert os.path.exists(path)
+
+
+class TestTrainerIntegration:
+    def test_trainer_writes_metrics(self, tmp_path):
+        cfg = TransformerConfig(
+            num_layers=1, hidden_dim=16, num_heads=2, vocab_size=32, max_seq=8
+        )
+        zcfg = ZeroConfig(world_size=2, loss_scale=1.0)
+        path = str(tmp_path / "train.jsonl")
+        with ZeroInfinityEngine(
+            zcfg, model_factory=lambda: GPTModel(cfg, rng=seeded_rng(0)), lr=1e-3
+        ) as engine, MetricsLogger(path) as metrics:
+            data = per_rank_batches(
+                MarkovCorpus(32), world_size=2, bsz_per_rank=2, seq=8, seed=0
+            )
+            trainer = Trainer(
+                engine,
+                data,
+                TrainerConfig(total_steps=4, log_every=0),
+                schedule=ConstantSchedule(lr=1e-3),
+                metrics=metrics,
+            )
+            hist = trainer.fit()
+        records = read_metrics(path, event="step")
+        assert len(records) == 4
+        logged = [r["loss"] for r in records]
+        np.testing.assert_allclose(logged, hist.losses)
+        assert all("loss_scale" in r for r in records)

@@ -1,0 +1,69 @@
+"""Real multi-process data parallelism matches the in-process oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ddp import DDPTrainer
+from repro.baselines.mp_ddp import MultiprocessDDP
+from repro.nn import GPTModel, TransformerConfig
+from repro.utils.rng import seeded_rng, spawn_rngs
+
+WORLD = 2
+VOCAB = 32
+
+
+def mp_factory():
+    """Module-level (picklable) replica factory for fork/spawn workers."""
+    cfg = TransformerConfig(
+        num_layers=1, hidden_dim=16, num_heads=2, vocab_size=VOCAB, max_seq=8
+    )
+    return GPTModel(cfg, rng=seeded_rng(11))
+
+
+def batches(seed=0):
+    rngs = spawn_rngs(seed, WORLD)
+    return [
+        (r.integers(0, VOCAB, (1, 8)), r.integers(0, VOCAB, (1, 8))) for r in rngs
+    ]
+
+
+class TestMultiprocessDDP:
+    def test_losses_match_inprocess_ddp(self):
+        ref = DDPTrainer(mp_factory, WORLD, lr=1e-2)
+        with MultiprocessDDP(mp_factory, WORLD, lr=1e-2, timeout=120) as mpddp:
+            for step in range(2):
+                b = batches(step)
+                ref_losses = ref.train_step(b)
+                mp_losses = mpddp.train_step(b)
+                np.testing.assert_allclose(mp_losses, ref_losses, rtol=1e-6)
+            ref_state = ref.state_dict()
+            mp_state = mpddp.master_state()
+        for name in ref_state:
+            np.testing.assert_allclose(
+                mp_state[name], ref_state[name], rtol=1e-4, atol=1e-6, err_msg=name
+            )
+
+    def test_workers_synchronized_after_step(self):
+        with MultiprocessDDP(mp_factory, WORLD, lr=1e-2, timeout=120) as mpddp:
+            mpddp.train_step(batches())
+            master = mpddp.master_state()
+            for rank in range(WORLD):
+                worker = mpddp.state_dict(rank)
+                for name in master:
+                    np.testing.assert_array_equal(worker[name], master[name])
+
+    def test_wrong_batch_count_raises(self):
+        with MultiprocessDDP(mp_factory, WORLD, timeout=120) as mpddp:
+            with pytest.raises(ValueError):
+                mpddp.train_step(batches()[:1])
+
+    def test_closed_trainer_rejects_work(self):
+        mpddp = MultiprocessDDP(mp_factory, WORLD, timeout=120)
+        mpddp.close()
+        with pytest.raises(RuntimeError):
+            mpddp.train_step(batches())
+        mpddp.close()  # idempotent
+
+    def test_invalid_world_raises(self):
+        with pytest.raises(ValueError):
+            MultiprocessDDP(mp_factory, 0)

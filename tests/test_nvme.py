@@ -1,0 +1,332 @@
+"""Async I/O engine, pinned buffer pool, tensor store, chunked swapper."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvme import (
+    AsyncIOEngine,
+    ChunkedSwapper,
+    PinnedBufferPool,
+    TensorStore,
+)
+from repro.nvme.buffers import PinnedBudgetExceeded
+
+
+@pytest.fixture
+def engine():
+    with AsyncIOEngine(num_threads=4, block_bytes=4096) as eng:
+        yield eng
+
+
+@pytest.fixture
+def store(tmp_path):
+    with TensorStore(str(tmp_path / "spool")) as ts:
+        yield ts
+
+
+class TestAsyncIOEngine:
+    def test_write_read_roundtrip(self, engine, tmp_path):
+        path = str(tmp_path / "f.bin")
+        data = np.arange(10_000, dtype=np.float32)
+        engine.write(path, data)
+        out = np.empty_like(data)
+        engine.read(path, out)
+        np.testing.assert_array_equal(data, out)
+
+    def test_async_handles_complete(self, engine, tmp_path):
+        path = str(tmp_path / "f.bin")
+        data = np.arange(1000, dtype=np.float64)
+        req = engine.submit_write(path, data)
+        req.wait()
+        assert req.done()
+        out = np.empty_like(data)
+        req2 = engine.submit_read(path, out)
+        req2.wait()
+        np.testing.assert_array_equal(data, out)
+
+    def test_offset_io(self, engine, tmp_path):
+        path = str(tmp_path / "f.bin")
+        engine.write(path, np.zeros(100, dtype=np.float32))
+        engine.write(path, np.ones(10, dtype=np.float32), file_offset=40)
+        out = np.empty(100, dtype=np.float32)
+        engine.read(path, out)
+        assert np.all(out[10:20] == 1.0)
+        assert np.all(out[:10] == 0.0)
+
+    def test_large_request_splits_into_blocks(self, tmp_path):
+        with AsyncIOEngine(num_threads=4, block_bytes=1024) as eng:
+            path = str(tmp_path / "big.bin")
+            data = np.random.default_rng(0).random(100_000).astype(np.float32)
+            eng.write(path, data)
+            out = np.empty_like(data)
+            eng.read(path, out)
+            np.testing.assert_array_equal(data, out)
+            # 400 KB / 1 KB blocks = hundreds of sub-operations issued
+            assert eng.stats.bytes_written == data.nbytes
+
+    def test_synchronize_flushes_all(self, engine, tmp_path):
+        reqs = [
+            engine.submit_write(
+                str(tmp_path / f"f{i}.bin"), np.full(1000, i, dtype=np.float32)
+            )
+            for i in range(8)
+        ]
+        engine.synchronize()
+        assert all(r.done() for r in reqs)
+
+    def test_short_read_raises(self, engine, tmp_path):
+        path = str(tmp_path / "small.bin")
+        engine.write(path, np.zeros(4, dtype=np.float32))
+        out = np.empty(100, dtype=np.float32)
+        req = engine.submit_read(path, out)
+        with pytest.raises(IOError):
+            req.wait()
+
+    def test_noncontiguous_read_target_raises(self, engine, tmp_path):
+        path = str(tmp_path / "f.bin")
+        engine.write(path, np.zeros(16, dtype=np.float32))
+        out = np.empty((4, 8), dtype=np.float32)[:, ::2]
+        with pytest.raises(ValueError):
+            engine.submit_read(path, out)
+
+    def test_closed_engine_rejects(self, tmp_path):
+        eng = AsyncIOEngine()
+        eng.close()
+        with pytest.raises(RuntimeError):
+            eng.submit_write(str(tmp_path / "x"), np.zeros(1))
+
+    def test_stats_accumulate(self, engine, tmp_path):
+        path = str(tmp_path / "f.bin")
+        engine.write(path, np.zeros(256, dtype=np.float32))
+        out = np.empty(256, dtype=np.float32)
+        engine.read(path, out)
+        assert engine.stats.bytes_written == 1024
+        assert engine.stats.bytes_read == 1024
+        assert engine.stats.write_requests == 1
+        assert engine.stats.read_requests == 1
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            AsyncIOEngine(num_threads=0)
+        with pytest.raises(ValueError):
+            AsyncIOEngine(block_bytes=0)
+
+
+class TestPinnedBufferPool:
+    def test_acquire_release_cycle(self):
+        pool = PinnedBufferPool(10_000)
+        buf = pool.acquire(100, np.float32)
+        assert buf.array.shape == (100,)
+        assert pool.live_bytes > 0
+        buf.release()
+        assert pool.live_bytes == 0
+        assert pool.cached_bytes > 0
+
+    def test_reuse_hits(self):
+        pool = PinnedBufferPool(10_000, alignment=64)
+        a = pool.acquire(100, np.float32)
+        a.release()
+        b = pool.acquire(50, np.float32)  # smaller fits in cached buffer
+        assert pool.stats.reuse_hits == 1
+        b.release()
+
+    def test_budget_enforced(self):
+        pool = PinnedBufferPool(1000, alignment=64)
+        a = pool.acquire(200, np.float32)  # 800 bytes
+        with pytest.raises(PinnedBudgetExceeded):
+            pool.acquire(200, np.float32)
+        a.release()
+        pool.acquire(200, np.float32)  # fine after release
+
+    def test_eviction_makes_room(self):
+        pool = PinnedBufferPool(1000, alignment=64)
+        a = pool.acquire(100, np.float32)
+        a.release()  # cached 448 bytes (aligned)
+        b = pool.acquire(200, np.float32)  # needs eviction of the cached one
+        assert b.array.size == 200
+
+    def test_double_release_raises(self):
+        pool = PinnedBufferPool(1000, alignment=64)
+        buf = pool.acquire(10, np.float32)
+        buf.release()
+        with pytest.raises(RuntimeError):
+            buf.release()
+
+    def test_context_manager_releases(self):
+        pool = PinnedBufferPool(10_000)
+        with pool.acquire(10, np.float32):
+            assert pool.live_bytes > 0
+        assert pool.live_bytes == 0
+
+    def test_peak_tracking(self):
+        pool = PinnedBufferPool(100_000, alignment=64)
+        bufs = [pool.acquire(1000, np.float32) for _ in range(3)]
+        peak = pool.stats.peak_bytes
+        for b in bufs:
+            b.release()
+        assert pool.stats.peak_bytes == peak >= 12_000
+
+    def test_drain(self):
+        pool = PinnedBufferPool(10_000)
+        pool.acquire(100, np.float32).release()
+        pool.drain()
+        assert pool.cached_bytes == 0
+
+    @given(sizes=st.lists(st.integers(1, 500), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_budget_never_exceeded_property(self, sizes):
+        """Invariant: live + cached <= budget at all times."""
+        pool = PinnedBufferPool(8192, alignment=64)
+        live = []
+        for s in sizes:
+            try:
+                live.append(pool.acquire(s, np.float32))
+            except PinnedBudgetExceeded:
+                if live:
+                    live.pop().release()
+            assert pool.live_bytes + pool.cached_bytes <= pool.budget_bytes
+        for b in live:
+            b.release()
+
+
+class TestTensorStore:
+    def test_roundtrip_bitwise(self, store, rng):
+        a = rng.random((37, 13)).astype(np.float16)
+        store.write("x", a)
+        out = store.read("x")
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(a, out)
+
+    def test_read_into_buffer(self, store):
+        a = np.arange(100, dtype=np.float32)
+        store.write("x", a)
+        buf = np.empty(100, dtype=np.float32)
+        out = store.read("x", buf)
+        assert out.base is buf or out is buf
+        np.testing.assert_array_equal(out, a)
+
+    def test_read_wrong_size_raises(self, store):
+        store.write("x", np.zeros(10, dtype=np.float32))
+        with pytest.raises(ValueError):
+            store.read("x", np.empty(11, dtype=np.float32))
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(KeyError):
+            store.read("nope")
+
+    def test_overwrite_changes_size(self, store):
+        store.write("x", np.zeros(100, dtype=np.float32))
+        store.write("x", np.ones(10, dtype=np.float32))
+        out = store.read("x")
+        assert out.shape == (10,)
+        assert np.all(out == 1.0)
+
+    def test_contains_and_keys(self, store):
+        store.write("a", np.zeros(1))
+        store.write("b", np.zeros(1))
+        assert "a" in store and "c" not in store
+        assert sorted(store.keys()) == ["a", "b"]
+
+    def test_total_bytes(self, store):
+        store.write("a", np.zeros(10, dtype=np.float32))
+        store.write("b", np.zeros(5, dtype=np.float16))
+        assert store.total_bytes == 50
+
+    def test_delete(self, store):
+        store.write("a", np.zeros(1))
+        store.delete("a")
+        assert "a" not in store
+        store.delete("a")  # idempotent
+
+    def test_async_write_then_read(self, store):
+        a = np.arange(1000, dtype=np.float32)
+        req = store.write_async("x", a)
+        req.wait()
+        np.testing.assert_array_equal(store.read("x"), a)
+
+    def test_meta(self, store):
+        store.write("x", np.zeros((4, 5), dtype=np.float16))
+        shape, dtype, nbytes = store.meta("x")
+        assert shape == (4, 5) and dtype == np.float16 and nbytes == 40
+
+    def test_slash_keys_map_to_flat_files(self, store):
+        store.write("blocks.0/attn/weight", np.ones(3))
+        assert "blocks.0/attn/weight" in store
+        np.testing.assert_array_equal(store.read("blocks.0/attn/weight"), [1, 1, 1])
+
+    def test_temp_dir_cleanup(self):
+        ts = TensorStore()
+        d = ts.directory
+        ts.write("x", np.zeros(10))
+        ts.close()
+        assert not os.path.exists(d)
+
+    def test_ranged_read_write(self, store):
+        a = np.arange(100, dtype=np.float32)
+        store.write("x", a)
+        out, req = store.read_range("x", 10, 5)
+        req.wait()
+        np.testing.assert_array_equal(out, a[10:15])
+        store.write_range("x", 10, np.full(5, -1, dtype=np.float32)).wait()
+        full = store.read("x")
+        assert np.all(full[10:15] == -1)
+        assert full[9] == 9 and full[15] == 15
+
+    def test_ranged_out_of_bounds(self, store):
+        store.write("x", np.zeros(10, dtype=np.float32))
+        with pytest.raises(ValueError):
+            store.read_range("x", 8, 5)
+        with pytest.raises(ValueError):
+            store.write_range("x", 8, np.zeros(5, dtype=np.float32))
+
+
+class TestChunkedSwapper:
+    def test_streams_through_transform(self, store):
+        a = np.arange(1001, dtype=np.float32)  # odd size: last chunk short
+        store.write("x", a)
+        sw = ChunkedSwapper(store, chunk_numel=128)
+        sw.apply("x", lambda c: c * 3)
+        np.testing.assert_array_equal(store.read("x"), a * 3)
+
+    def test_single_chunk(self, store):
+        a = np.arange(10, dtype=np.float32)
+        store.write("x", a)
+        ChunkedSwapper(store, chunk_numel=1000).apply("x", lambda c: c + 1)
+        np.testing.assert_array_equal(store.read("x"), a + 1)
+
+    def test_pinned_pool_bounded(self, store):
+        """Staging memory stays within two chunks of pinned budget."""
+        a = np.zeros(10_000, dtype=np.float32)
+        store.write("x", a)
+        pool = PinnedBufferPool(3 * 512 * 4 + 8192, alignment=64)
+        sw = ChunkedSwapper(store, chunk_numel=512, pool=pool)
+        sw.apply("x", lambda c: c + 1)
+        assert pool.stats.peak_bytes <= pool.budget_bytes
+        assert np.all(store.read("x") == 1.0)
+
+    def test_size_changing_transform_raises(self, store):
+        store.write("x", np.zeros(100, dtype=np.float32))
+        sw = ChunkedSwapper(store, chunk_numel=10)
+        with pytest.raises(ValueError):
+            sw.apply("x", lambda c: c[:-1])
+
+    def test_invalid_chunk_raises(self, store):
+        with pytest.raises(ValueError):
+            ChunkedSwapper(store, chunk_numel=0)
+
+    @given(
+        n=st.integers(1, 4000),
+        chunk=st.integers(1, 512),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chunking_preserves_values_property(self, n, chunk, tmp_path_factory):
+        with TensorStore(str(tmp_path_factory.mktemp("sw"))) as ts:
+            a = np.arange(n, dtype=np.float32)
+            ts.write("x", a)
+            ChunkedSwapper(ts, chunk_numel=chunk).apply("x", lambda c: 2 * c - 1)
+            np.testing.assert_array_equal(ts.read("x"), 2 * a - 1)

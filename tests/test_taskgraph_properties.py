@@ -1,0 +1,91 @@
+"""Property-based tests of the task-graph scheduler's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import TaskGraph
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG: tasks with durations, streams, and backward deps."""
+    n = draw(st.integers(1, 30))
+    n_streams = draw(st.integers(1, 4))
+    tasks = []
+    for i in range(n):
+        duration = draw(st.floats(0.0, 10.0, allow_nan=False))
+        stream = draw(st.integers(0, n_streams - 1))
+        n_deps = draw(st.integers(0, min(i, 3)))
+        deps = draw(
+            st.lists(
+                st.integers(0, i - 1), min_size=n_deps, max_size=n_deps, unique=True
+            )
+        ) if i else []
+        tasks.append((f"t{i}", f"s{stream}", duration, deps))
+    return tasks
+
+
+def build(tasks):
+    g = TaskGraph()
+    for name, stream, duration, deps in tasks:
+        g.add(name, stream, duration, deps)
+    return g
+
+
+class TestSchedulerInvariants:
+    @given(random_dag())
+    @settings(max_examples=100, deadline=None)
+    def test_all_constraints_respected(self, tasks):
+        result = build(tasks).run()
+        by_index = {t.index: t for t in result.tasks}
+        # 1. every task ran for exactly its duration
+        for t in result.tasks:
+            assert t.finish == pytest.approx(t.start + t.duration)
+            assert t.start >= 0
+        # 2. dependencies complete before dependents start
+        for t in result.tasks:
+            for d in t.deps:
+                assert by_index[d].finish <= t.start + 1e-9
+        # 3. tasks on one stream never overlap and keep submission order
+        streams = {}
+        for t in result.tasks:
+            streams.setdefault(t.stream, []).append(t)
+        for ts in streams.values():
+            for a, b in zip(ts, ts[1:]):
+                assert a.finish <= b.start + 1e-9
+
+    @given(random_dag())
+    @settings(max_examples=100, deadline=None)
+    def test_makespan_bounds(self, tasks):
+        result = build(tasks).run()
+        total = sum(t.duration for t in result.tasks)
+        # lower bound: the busiest stream; upper bound: full serialization
+        busiest = max(result.stream_busy.values(), default=0.0)
+        assert result.makespan + 1e-9 >= busiest
+        assert result.makespan <= total + 1e-9
+        # critical-path lower bound
+        cp = {}
+        for t in result.tasks:  # tasks are in index order
+            cp[t.index] = t.duration + max(
+                (cp[d] for d in t.deps), default=0.0
+            )
+        assert result.makespan + 1e-9 >= max(cp.values(), default=0.0)
+
+    @given(random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, tasks):
+        r1 = build(tasks).run()
+        r2 = build(tasks).run()
+        assert r1.makespan == r2.makespan
+        for a, b in zip(r1.tasks, r2.tasks):
+            assert a.start == b.start and a.finish == b.finish
+
+    @given(random_dag())
+    @settings(max_examples=50, deadline=None)
+    def test_busy_accounting_sums_durations(self, tasks):
+        result = build(tasks).run()
+        assert sum(result.stream_busy.values()) == pytest.approx(
+            sum(t.duration for t in result.tasks)
+        )

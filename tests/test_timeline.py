@@ -1,0 +1,96 @@
+"""Gantt rendering and phase summaries of simulated timelines."""
+
+import pytest
+
+from repro.core.config import Strategy
+from repro.hardware import dgx2_cluster
+from repro.sim import (
+    SimWorkload,
+    StepSimulator,
+    TaskGraph,
+    phase_summary,
+    policy_for_strategy,
+    render_gantt,
+)
+
+
+def small_graph():
+    g = TaskGraph()
+    a = g.add("compute-fwd:0", "compute", 2.0)
+    b = g.add("nc-fetch:1", "nc", 1.0)
+    g.add("compute-fwd:1", "compute", 2.0, [a, b])
+    return g.run()
+
+
+class TestRenderGantt:
+    def test_contains_all_streams(self):
+        out = render_gantt(small_graph())
+        assert "compute" in out and "nc" in out
+
+    def test_busy_fractions_shown(self):
+        out = render_gantt(small_graph())
+        assert "100%" in out  # compute is busy the whole makespan
+        assert "25%" in out  # nc: 1s of 4s
+
+    def test_width_respected(self):
+        out = render_gantt(small_graph(), width=40)
+        body = [l for l in out.splitlines() if "|" in l]
+        for line in body:
+            inner = line.split("|")[1]
+            assert len(inner) == 40
+
+    def test_legend_lists_prefixes(self):
+        out = render_gantt(small_graph())
+        assert "compute-fwd" in out and "nc-fetch" in out
+
+    def test_empty_graph(self):
+        assert render_gantt(TaskGraph().run()) == "(empty timeline)"
+
+    def test_real_step_renders(self):
+        wl = SimWorkload(
+            params=int(8e9),
+            num_layers=4,
+            hidden_dim=8192,
+            attn_heads=16,
+            batch_per_gpu=2,
+        )
+        b = StepSimulator(
+            dgx2_cluster(1), wl, policy_for_strategy(Strategy.ZERO_INF_NVME)
+        ).simulate()
+        out = render_gantt(b.result)
+        for stream in ("compute", "nc", "cg", "gg"):
+            assert stream in out
+
+
+class TestPhaseSummary:
+    def test_sums_by_prefix(self):
+        summary = phase_summary(small_graph())
+        assert summary["compute-fwd"] == pytest.approx(4.0)
+        assert summary["nc-fetch"] == pytest.approx(1.0)
+
+    def test_full_step_phases_present(self):
+        wl = SimWorkload(
+            params=int(8e9),
+            num_layers=4,
+            hidden_dim=8192,
+            attn_heads=16,
+            batch_per_gpu=2,
+        )
+        b = StepSimulator(
+            dgx2_cluster(1), wl, policy_for_strategy(Strategy.ZERO_INF_NVME)
+        ).simulate()
+        phases = phase_summary(b.result)
+        for expected in (
+            "compute-fwd",
+            "compute-bwd",
+            "nc-fetch",
+            "cg-fetch",
+            "gg-allgather",
+            "rs-reduce_scatter",
+            "opt-nc-stream",
+        ):
+            assert expected in phases, expected
+        # backward compute is 3x forward (2x grad + 1x recompute)
+        assert phases["compute-bwd"] == pytest.approx(
+            3 * phases["compute-fwd"], rel=1e-6
+        )

@@ -1,0 +1,118 @@
+"""Table/chart rendering and RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Table, ascii_bar_chart, ascii_line_chart
+from repro.utils.rng import seeded_rng, spawn_rngs
+
+
+class TestTable:
+    def test_alignment_and_structure(self):
+        t = Table(["name", "value"], title="T")
+        t.add_row(["a", 1.5])
+        t.add_row(["long-name", 22.25])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # all rows share the same width
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_float_formatting(self):
+        t = Table(["x"], float_fmt="{:.3f}")
+        t.add_row([1.23456])
+        assert "1.235" in t.render()
+
+    def test_wrong_cell_count_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_str_is_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+    def test_empty_table_renders_header(self):
+        t = Table(["only"])
+        assert "only" in t.render()
+
+
+class TestBarChart:
+    def test_scaling_to_max(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_and_negative_render_empty(self):
+        out = ascii_bar_chart(["oom", "ok"], [0.0, 4.0])
+        assert "oom" in out
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_all_zero_no_crash(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "a" in out
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_title_and_value_fmt(self):
+        out = ascii_bar_chart(["x"], [3.14159], title="pi", value_fmt="{:.1f}")
+        assert out.startswith("pi")
+        assert "3.1" in out
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        x = [0, 1, 2, 3]
+        out = ascii_line_chart(
+            x, {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]}, height=8, width=20
+        )
+        assert "o=up" in out and "x=down" in out
+        assert "y:" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_line_chart([0, 1], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = ascii_line_chart([0], {"p": [1.0]})
+        assert "p" in out
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([0], {})
+
+    def test_collision_marker(self):
+        # two series crossing at the same cell render '*'
+        out = ascii_line_chart(
+            [0, 1], {"a": [0.0, 1.0], "b": [0.0, 1.0]}, height=6, width=10
+        )
+        assert "*" in out
+
+
+class TestRng:
+    def test_seeded_rng_reproducible(self):
+        a = seeded_rng(42).random(5)
+        b = seeded_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(seeded_rng(1).random(5), seeded_rng(2).random(5))
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 3)
+        draws = [r.random(100) for r in rngs]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_spawn_reproducible(self):
+        a = [r.random(4) for r in spawn_rngs(5, 2)]
+        b = [r.random(4) for r in spawn_rngs(5, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Generate docs/api.md: the public API index.
+
+Walks every ``repro`` subpackage, lists the names its ``__init__`` exports
+(``__all__``), and records each object's one-line summary from its
+docstring.  ``tests/test_api_docs.py`` regenerates the document and fails
+when it drifts from the committed copy, so the reference stays current.
+
+Usage:  python tools/gen_api_docs.py [--check]
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+import sys
+
+PACKAGES = [
+    "repro",
+    "repro.tensor",
+    "repro.hardware",
+    "repro.comm",
+    "repro.nvme",
+    "repro.nn",
+    "repro.optim",
+    "repro.core",
+    "repro.analytics",
+    "repro.baselines",
+    "repro.sim",
+    "repro.workloads",
+    "repro.utils",
+]
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "docs", "api.md")
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    line = doc.splitlines()[0].strip() if doc else ""
+    return line
+
+
+def render() -> str:
+    lines = [
+        "# API reference (generated)",
+        "",
+        "Regenerate with `python tools/gen_api_docs.py`; the test suite",
+        "fails if this file drifts from the code.",
+        "",
+    ]
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        exported = list(getattr(pkg, "__all__", []))
+        lines.append(f"## `{pkg_name}`")
+        lines.append("")
+        summary = first_line(pkg)
+        if summary:
+            lines.append(summary)
+            lines.append("")
+        if not exported:
+            lines.append("(no public exports)")
+            lines.append("")
+            continue
+        lines.append("| name | kind | summary |")
+        lines.append("|---|---|---|")
+        for name in exported:
+            if name.startswith("__"):
+                continue
+            obj = getattr(pkg, name, None)
+            if obj is None:
+                kind, summary = "constant", ""
+            elif inspect.isclass(obj):
+                kind, summary = "class", first_line(obj)
+            elif inspect.isfunction(obj):
+                kind, summary = "function", first_line(obj)
+            elif inspect.ismodule(obj):
+                kind, summary = "module", first_line(obj)
+            else:
+                kind, summary = type(obj).__name__, ""
+            summary = summary.replace("|", "\\|")
+            lines.append(f"| `{name}` | {kind} | {summary} |")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    text = render()
+    out = os.path.abspath(OUT_PATH)
+    if "--check" in argv:
+        if not os.path.exists(out):
+            print("docs/api.md missing; run tools/gen_api_docs.py", file=sys.stderr)
+            return 1
+        with open(out) as f:
+            if f.read() != text:
+                print("docs/api.md is stale; run tools/gen_api_docs.py", file=sys.stderr)
+                return 1
+        return 0
+    with open(out, "w") as f:
+        f.write(text)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
