@@ -1,0 +1,23 @@
+"""Tracer overhead contract: disabled < 2%, enabled < 10% of a step.
+
+The telemetry layer (:mod:`repro.obs`) leaves its instrumentation compiled
+into every hot path — offload swaps, collectives, aio submit/complete, the
+engine step phases.  That is only tenable if the disabled fast path is
+effectively free and the enabled path stays a small tax, so this bench
+measures both on a real engine step and *asserts* the contract rather than
+just reporting it (see :mod:`repro.obs.overhead` for the measurement
+model).  ``tests/test_obs_overhead.py`` enforces the same bound in tier 1.
+"""
+
+from repro.obs.overhead import measure_overhead
+
+DISABLED_BUDGET = 0.02  # always-on instrumentation must be invisible
+ENABLED_BUDGET = 0.10  # actively tracing may tax the step this much
+
+
+def test_tracer_overhead_contract(emit, benchmark):
+    report = benchmark.pedantic(measure_overhead, rounds=1, iterations=1)
+    emit("obs_overhead", report.render())
+    assert report.spans_per_step > 100  # the step really is instrumented
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()

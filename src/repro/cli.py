@@ -8,6 +8,10 @@ Subcommands mirror the questions the paper answers:
 * ``repro efficiency`` — required bandwidths from the Sec. 4 model;
 * ``repro train-demo`` — a short functional training run with full NVMe
   offload on simulated ranks (proof the whole stack works on this machine).
+
+``train-demo`` and ``throughput`` accept ``--trace out.json``: the run (or
+simulated timeline) is exported as Chrome trace-event JSON, ready to open
+at https://ui.perfetto.dev or ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -86,6 +90,11 @@ def _cmd_throughput(args) -> int:
         from repro.sim import render_gantt
 
         print("\n" + render_gantt(b.result))
+    if args.trace:
+        from repro.obs import write_sim_trace
+
+        n = write_sim_trace(args.trace, b.result)
+        print(f"wrote {n} timeline events to {args.trace} (open in Perfetto)")
     return 0
 
 
@@ -174,6 +183,8 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_train_demo(args) -> int:
+    import contextlib
+
     from repro.core import OffloadConfig, OffloadDevice, ZeroConfig, ZeroInfinityEngine
     from repro.nn import GPTModel, TransformerConfig
     from repro.utils.rng import seeded_rng
@@ -184,6 +195,13 @@ def _cmd_train_demo(args) -> int:
         TrainerConfig,
         per_rank_batches,
     )
+
+    if args.trace:
+        from repro.obs import use_tracer
+
+        trace_ctx = use_tracer()
+    else:
+        trace_ctx = contextlib.nullcontext()
 
     model_cfg = TransformerConfig(
         num_layers=2,
@@ -201,7 +219,7 @@ def _cmd_train_demo(args) -> int:
         ),
         loss_scale=1.0,
     )
-    with ZeroInfinityEngine(
+    with trace_ctx as tracer, ZeroInfinityEngine(
         zero_cfg,
         model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
         lr=5e-3,
@@ -225,6 +243,16 @@ def _cmd_train_demo(args) -> int:
             f" in {hist.wall_seconds:.1f}s;"
             f" NVMe traffic {format_bytes(rep.nvme_read_bytes + rep.nvme_write_bytes)}"
         )
+        if args.trace:
+            from repro.obs import (
+                get_registry,
+                telemetry_summary,
+                write_chrome_trace,
+            )
+
+            n = write_chrome_trace(args.trace, tracer, get_registry())
+            print("\n" + telemetry_summary(tracer, get_registry()))
+            print(f"\nwrote {n} spans to {args.trace} (open in Perfetto)")
     return 0
 
 
@@ -358,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--nodes", type=int, default=None)
     s.add_argument("--accum", type=int, default=1)
     s.add_argument("--gantt", action="store_true", help="render the timeline")
+    s.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write the simulated timeline as Chrome trace JSON",
+    )
     s.set_defaults(fn=_cmd_throughput)
 
     s = sub.add_parser("memory", help="Sec. 3 memory profile")
@@ -393,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--hidden", type=int, default=64)
     s.add_argument(
         "--offload", type=str, default="nvme", choices=["gpu", "cpu", "nvme"]
+    )
+    s.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record spans and write a Chrome trace JSON of the run",
     )
     s.set_defaults(fn=_cmd_train_demo)
     return p

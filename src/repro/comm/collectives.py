@@ -8,6 +8,10 @@ ZeRO engines almost always surface as silent shape/ordering mistakes here.
 Following the mpi4py convention for buffer collectives, inputs must be numpy
 arrays; ragged shard sizes are allowed where the real collectives allow them
 (``allgather`` of unequal shards mirrors ``Allgatherv``).
+
+Every collective records a ``cat="comm"`` span (op, world size, payload
+bytes) on the global tracer, so traced runs show exactly which transfers
+overlap which compute — a no-op attribute check when tracing is off.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from repro.obs.tracer import trace_span
 
 
 def _check_world(buffers: Sequence[np.ndarray]) -> int:
@@ -31,7 +37,8 @@ def broadcast(buffers: Sequence[np.ndarray | None], root: int) -> list[np.ndarra
     src = buffers[root]
     if src is None:
         raise ValueError("root buffer must not be None")
-    return [src.copy() for _ in range(world)]
+    with trace_span("comm:broadcast", cat="comm", world=world, bytes=int(src.nbytes)):
+        return [src.copy() for _ in range(world)]
 
 
 def allgather(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -39,9 +46,11 @@ def allgather(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
 
     Shards may be unequal length (Allgatherv semantics); each is flattened.
     """
-    _check_world(shards)
-    full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
-    return [full.copy() for _ in range(len(shards))]
+    world = _check_world(shards)
+    payload = sum(int(np.asarray(s).nbytes) for s in shards)
+    with trace_span("comm:allgather", cat="comm", world=world, bytes=payload):
+        full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
+        return [full.copy() for _ in range(world)]
 
 
 def gather(shards: Sequence[np.ndarray], root: int) -> list[np.ndarray | None]:
@@ -49,8 +58,10 @@ def gather(shards: Sequence[np.ndarray], root: int) -> list[np.ndarray | None]:
     world = _check_world(shards)
     if not 0 <= root < world:
         raise ValueError(f"root {root} out of range for world {world}")
-    full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
-    return [full if r == root else None for r in range(world)]
+    payload = sum(int(np.asarray(s).nbytes) for s in shards)
+    with trace_span("comm:gather", cat="comm", world=world, bytes=payload):
+        full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
+        return [full if r == root else None for r in range(world)]
 
 
 def scatter(full: np.ndarray, world: int, root: int = 0) -> list[np.ndarray]:
@@ -61,7 +72,8 @@ def scatter(full: np.ndarray, world: int, root: int = 0) -> list[np.ndarray]:
             f"scatter requires size divisible by world: {flat.size} % {world}"
         )
     shard = flat.size // world
-    return [flat[r * shard : (r + 1) * shard].copy() for r in range(world)]
+    with trace_span("comm:scatter", cat="comm", world=world, bytes=int(flat.nbytes)):
+        return [flat[r * shard : (r + 1) * shard].copy() for r in range(world)]
 
 
 def allreduce(
@@ -78,21 +90,21 @@ def allreduce(
     for b in buffers:
         if b.shape != shape:
             raise ValueError("allreduce buffers must share a shape")
-    acc = np.zeros(shape, dtype=accum_dtype)
-    for b in buffers:
-        acc += b.astype(accum_dtype, copy=False)
-    if op == "sum":
-        pass
-    elif op == "mean":
-        acc /= world
-    elif op == "max":
-        acc = np.maximum.reduce(
-            [b.astype(accum_dtype, copy=False) for b in buffers]
-        )
-    else:
+    if op not in ("sum", "mean", "max"):
         raise ValueError(f"unsupported reduction op {op!r}")
-    out_dtype = buffers[0].dtype
-    return [acc.astype(out_dtype) for _ in range(world)]
+    payload = sum(int(b.nbytes) for b in buffers)
+    with trace_span("comm:allreduce", cat="comm", world=world, bytes=payload, op=op):
+        acc = np.zeros(shape, dtype=accum_dtype)
+        for b in buffers:
+            acc += b.astype(accum_dtype, copy=False)
+        if op == "mean":
+            acc /= world
+        elif op == "max":
+            acc = np.maximum.reduce(
+                [b.astype(accum_dtype, copy=False) for b in buffers]
+            )
+        out_dtype = buffers[0].dtype
+        return [acc.astype(out_dtype) for _ in range(world)]
 
 
 def reduce_scatter(
@@ -111,18 +123,23 @@ def reduce_scatter(
             raise ValueError("reduce_scatter buffers must share a size")
     if n % world:
         raise ValueError(f"reduce_scatter needs size % world == 0: {n} % {world}")
-    acc = np.zeros(n, dtype=accum_dtype)
-    for f in flats:
-        acc += f.astype(accum_dtype, copy=False)
-    if op == "mean":
-        acc /= world
-    elif op != "sum":
+    if op not in ("sum", "mean"):
         raise ValueError(f"unsupported reduction op {op!r}")
-    shard = n // world
-    out_dtype = flats[0].dtype
-    return [
-        acc[r * shard : (r + 1) * shard].astype(out_dtype) for r in range(world)
-    ]
+    payload = sum(int(f.nbytes) for f in flats)
+    with trace_span(
+        "comm:reduce_scatter", cat="comm", world=world, bytes=payload, op=op
+    ):
+        acc = np.zeros(n, dtype=accum_dtype)
+        for f in flats:
+            acc += f.astype(accum_dtype, copy=False)
+        if op == "mean":
+            acc /= world
+        shard = n // world
+        out_dtype = flats[0].dtype
+        return [
+            acc[r * shard : (r + 1) * shard].astype(out_dtype)
+            for r in range(world)
+        ]
 
 
 def alltoall(matrix: Sequence[Sequence[np.ndarray]]) -> list[list[np.ndarray]]:
@@ -131,7 +148,11 @@ def alltoall(matrix: Sequence[Sequence[np.ndarray]]) -> list[list[np.ndarray]]:
     for row in matrix:
         if len(row) != world:
             raise ValueError("alltoall requires a square send matrix")
-    return [
-        [np.asarray(matrix[i][j]).copy() for i in range(world)]
-        for j in range(world)
-    ]
+    payload = sum(
+        int(np.asarray(cell).nbytes) for row in matrix for cell in row
+    )
+    with trace_span("comm:alltoall", cat="comm", world=world, bytes=payload):
+        return [
+            [np.asarray(matrix[i][j]).copy() for i in range(world)]
+            for j in range(world)
+        ]

@@ -18,11 +18,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm import collectives as C
+from repro.obs.metrics import get_registry
 
 
 @dataclass
 class CommStats:
-    """Byte and call counters per collective, across the whole group."""
+    """Byte and call counters per collective, across the whole group.
+
+    Each record also feeds the global metrics registry
+    (``comm.bytes.<op>`` / ``comm.calls.<op>``), so per-collective byte
+    volumes show up in the telemetry snapshot alongside NVMe and prefetch
+    counters without threading a registry through every caller.
+    """
 
     bytes_by_op: dict[str, int] = field(default_factory=dict)
     calls_by_op: dict[str, int] = field(default_factory=dict)
@@ -30,6 +37,9 @@ class CommStats:
     def record(self, op: str, nbytes: int) -> None:
         self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
         self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
+        registry = get_registry()
+        registry.counter(f"comm.bytes.{op}").inc(int(nbytes))
+        registry.counter(f"comm.calls.{op}").inc()
 
     @property
     def total_bytes(self) -> int:

@@ -32,6 +32,7 @@ from repro.core.partition import ParameterPartitioner
 from repro.core.prefetch import DynamicPrefetcher
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter, PartitionState
+from repro.obs.tracer import trace_span
 from repro.tensor.flat import pad_to_multiple
 
 
@@ -111,13 +112,21 @@ class ParameterCoordinator:
     def _gather_module(self, module: Module) -> None:
         for p in module.direct_parameters():
             if p.state is PartitionState.PARTITIONED:
-                self.partitioner.gather(p)
+                with trace_span(
+                    "engine:allgather", cat="engine",
+                    param=p.name or p.unique_id, numel=p.full_numel,
+                ):
+                    self.partitioner.gather(p)
                 self.stats.gathers += 1
 
     def _release_module(self, module: Module) -> None:
         for p in module.direct_parameters():
             if p.zero_meta is not None and p.state is PartitionState.AVAILABLE:
-                self.partitioner.release(p)
+                with trace_span(
+                    "engine:release", cat="engine",
+                    param=p.name or p.unique_id, numel=p.full_numel,
+                ):
+                    self.partitioner.release(p)
                 self.stats.releases += 1
 
     # --- hooks ----------------------------------------------------------------
@@ -163,6 +172,15 @@ class ParameterCoordinator:
 
     def _reduce_and_stash(self, param: Parameter, grads: list[np.ndarray]) -> None:
         """Reduce per-rank gradients and place the result per config."""
+        with trace_span(
+            "engine:grad_reduce", cat="engine",
+            param=param.name or param.unique_id, numel=param.full_numel,
+        ):
+            self._reduce_and_stash_inner(param, grads)
+
+    def _reduce_and_stash_inner(
+        self, param: Parameter, grads: list[np.ndarray]
+    ) -> None:
         self.stats.grad_reductions += 1
         world = self.config.world_size
         if self.config.stage >= ZeroStage.GRADIENTS:
@@ -206,9 +224,14 @@ class ParameterCoordinator:
 
     def flush_grad_offload(self) -> None:
         """Wait for in-flight asynchronous gradient writes (step boundary)."""
-        for handle in self._grad_handles:
-            handle.wait()
-        self._grad_handles.clear()
+        if not self._grad_handles:
+            return
+        with trace_span(
+            "engine:grad_flush", cat="engine", handles=len(self._grad_handles)
+        ):
+            for handle in self._grad_handles:
+                handle.wait()
+            self._grad_handles.clear()
 
     # --- accumulation lifecycle --------------------------------------------------
     def begin_accumulation(self) -> None:

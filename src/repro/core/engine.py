@@ -35,6 +35,8 @@ from repro.core.tiling import TiledLinear
 from repro.core.zero_optimizer import ZeroPartitionedAdam
 from repro.hardware.memory import MemoryLedger
 from repro.nn.init_context import PartitionedInitContext
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_span
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.parameter import PartitionState
@@ -71,6 +73,12 @@ class EngineReport:
     cpu_peak_bytes: int = 0
     activation_bytes_offloaded: int = 0
     activation_bytes_restored: int = 0
+    prefetch_mispredicts: int = 0
+    prefetch_issued: int = 0
+    # Snapshot of the global metrics registry (repro.obs) at report time:
+    # {metric name -> {"type": ..., "value"/"count"/...}}.  Process-global,
+    # so values aggregate across every engine in the process.
+    telemetry: dict[str, dict] = None  # type: ignore[assignment]
 
 
 def tile_oversized_linears(
@@ -270,6 +278,16 @@ class ZeroInfinityEngine:
         for r in rounds:
             if len(r) != world:
                 raise ValueError(f"each round needs {world} per-rank batches")
+        with trace_span(
+            "engine:step", cat="engine",
+            step=self.steps_taken, rounds=len(rounds), world=world,
+        ):
+            return self._train_step_traced(rounds)
+
+    def _train_step_traced(
+        self,
+        rounds: Sequence[Sequence[tuple[np.ndarray, ...]]],
+    ) -> StepResult:
         scale = self.scaler.loss_scale
         losses: list[float] = []
         self.coordinator.begin_accumulation()
@@ -278,10 +296,12 @@ class ZeroInfinityEngine:
                 self.coordinator.begin_rank(rank)
                 if self.prefetcher is not None:
                     self.prefetcher.begin_iteration()
-                loss = self.model(*batch)
+                with trace_span("engine:forward", cat="engine", rank=rank):
+                    loss = self.model(*batch)
                 losses.append(float(loss))
-                self.model.backward(scale)
-                self.coordinator.end_rank_backward()
+                with trace_span("engine:backward", cat="engine", rank=rank):
+                    self.model.backward(scale)
+                    self.coordinator.end_rank_backward()
                 if self.prefetcher is not None:
                     self.prefetcher.end_iteration()
             self.coordinator.assert_no_pending()
@@ -297,7 +317,8 @@ class ZeroInfinityEngine:
             self.scaler.update(True)
             return StepResult(losses, skipped=True, loss_scale=scale)
 
-        self.optimizer.step(grad_scale=grad_scale)
+        with trace_span("engine:optimizer", cat="engine", scale=grad_scale):
+            self.optimizer.step(grad_scale=grad_scale)
         self.scaler.update(False)
         self._drop_grads()
         self.steps_taken += 1
@@ -371,6 +392,13 @@ class ZeroInfinityEngine:
             ),
             f"  steps: {self.steps_taken} taken, {self.steps_skipped} skipped",
         ]
+        if self.prefetcher is not None:
+            s = self.prefetcher.stats()
+            lines.append(
+                f"  prefetch: {s['hits']} hits, {s['misses']} misses,"
+                f" {s['mispredicts']} mis-predicts"
+                f" ({s['issued']} issued at depth {s['depth']})"
+            )
         return "\n".join(lines)
 
     def memory_breakdown(self) -> dict[str, dict[str, int]]:
@@ -396,6 +424,11 @@ class ZeroInfinityEngine:
             activation_bytes_restored=sum(
                 o.bytes_restored for o in self.activation_offloaders
             ),
+            prefetch_mispredicts=(
+                self.prefetcher.mispredicts if self.prefetcher else 0
+            ),
+            prefetch_issued=self.prefetcher.issued if self.prefetcher else 0,
+            telemetry=get_registry().snapshot(),
         )
 
     # --- lifecycle -----------------------------------------------------------------

@@ -30,6 +30,8 @@ import numpy as np
 from repro.core.config import OffloadConfig, OffloadDevice
 from repro.hardware.memory import MemoryLedger
 from repro.nvme.aio import IORequest
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_span
 from repro.nvme.buffers import PinnedBuffer, PinnedBufferPool
 from repro.nvme.store import TensorStore
 from repro.tensor.device import CPU, gpu
@@ -125,23 +127,31 @@ class InfinityOffloadEngine:
             self._ledger_alloc(gpu(rank), arr.nbytes)
             return None
         if device is OffloadDevice.CPU:
-            self._drop_mem(key)
-            self._mem[key] = (arr.copy(), CPU)
-            self._ledger_alloc(CPU, arr.nbytes)
-            self.counters.add_link(rank, arr.nbytes)
-            self.counters.cpu_write_bytes += arr.nbytes
+            with trace_span(
+                "offload:swap_out", cat="offload", tier="cpu",
+                bytes=int(arr.nbytes), rank=rank,
+            ):
+                self._drop_mem(key)
+                self._mem[key] = (arr.copy(), CPU)
+                self._ledger_alloc(CPU, arr.nbytes)
+                self.counters.add_link(rank, arr.nbytes)
+                self.counters.cpu_write_bytes += arr.nbytes
             return None
         if device is OffloadDevice.NVME:
             if self.store is None:
                 raise RuntimeError("NVMe placement configured without a store")
-            self._drop_mem(key)  # key may migrate tiers
-            self.counters.add_link(rank, arr.nbytes)
-            self.counters.nvme_write_bytes += arr.nbytes
-            req = self.store.write_async(key, arr)
-            if sync:
-                req.wait()
-                return None
-            return req
+            with trace_span(
+                "offload:swap_out", cat="offload", tier="nvme",
+                bytes=int(arr.nbytes), rank=rank, sync=sync,
+            ):
+                self._drop_mem(key)  # key may migrate tiers
+                self.counters.add_link(rank, arr.nbytes)
+                self.counters.nvme_write_bytes += arr.nbytes
+                req = self.store.write_async(key, arr)
+                if sync:
+                    req.wait()
+                    return None
+                return req
         raise ValueError(f"unknown offload device {device}")
 
     # --- fetch -------------------------------------------------------------------
@@ -150,11 +160,16 @@ class InfinityOffloadEngine:
         with self._lock:
             inflight = self._inflight.pop(key, None)
         if inflight is not None:
-            inflight.request.wait()
-            out = np.array(inflight.buffer, copy=True)
+            with trace_span(
+                "offload:swap_in", cat="offload", tier="nvme",
+                prefetched=True, rank=rank,
+            ):
+                inflight.request.wait()
+                out = np.array(inflight.buffer, copy=True)
             if inflight.pin is not None:
                 inflight.pin.release()
             self.counters.prefetch_hits += 1
+            get_registry().counter("prefetch.hits").inc()
             self.counters.add_link(rank, out.nbytes)
             self.counters.nvme_read_bytes += out.nbytes
             return out
@@ -162,12 +177,22 @@ class InfinityOffloadEngine:
         if entry is not None:
             arr, tag = entry
             if tag is CPU or getattr(tag, "is_cpu", False):
-                self.counters.add_link(rank, arr.nbytes)
-                self.counters.cpu_read_bytes += arr.nbytes
+                with trace_span(
+                    "offload:swap_in", cat="offload", tier="cpu",
+                    bytes=int(arr.nbytes), rank=rank,
+                ):
+                    self.counters.add_link(rank, arr.nbytes)
+                    self.counters.cpu_read_bytes += arr.nbytes
+                    return arr.copy()
             return arr.copy()
         if self.store is not None and key in self.store:
             self.counters.prefetch_misses += 1
-            out = self.store.read(key)
+            get_registry().counter("prefetch.misses").inc()
+            with trace_span(
+                "offload:swap_in", cat="offload", tier="nvme",
+                prefetched=False, rank=rank,
+            ):
+                out = self.store.read(key)
             self.counters.add_link(rank, out.nbytes)
             self.counters.nvme_read_bytes += out.nbytes
             return out
@@ -185,17 +210,20 @@ class InfinityOffloadEngine:
                 return False
         shape, dtype, nbytes = self.store.meta(key)
         numel = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        try:
-            pin = self.pool.acquire(numel, dtype)
-            buffer = pin.array
-        except MemoryError:
-            # Pinned pool exhausted: fall back to an unpinned staging buffer
-            # rather than stalling the prefetch pipeline.
-            pin = None
-            buffer = np.empty(numel, dtype=dtype)
-        target, req = self.store.read_async(key, buffer)
-        with self._lock:
-            self._inflight[key] = _Inflight(target, pin, req)
+        with trace_span(
+            "offload:prefetch_start", cat="prefetch", bytes=int(nbytes), rank=rank
+        ):
+            try:
+                pin = self.pool.acquire(numel, dtype)
+                buffer = pin.array
+            except MemoryError:
+                # Pinned pool exhausted: fall back to an unpinned staging buffer
+                # rather than stalling the prefetch pipeline.
+                pin = None
+                buffer = np.empty(numel, dtype=dtype)
+            target, req = self.store.read_async(key, buffer)
+            with self._lock:
+                self._inflight[key] = _Inflight(target, pin, req)
         return True
 
     # --- lifecycle --------------------------------------------------------------

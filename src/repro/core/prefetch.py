@@ -23,6 +23,8 @@ from typing import Optional
 
 from repro.nn.module import Module
 from repro.nn.parameter import PartitionState
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_instant, trace_span
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,33 @@ class DynamicPrefetcher:
         self.invalidations = 0
         self.issued = 0
 
+    # --- overlap-quality counters ----------------------------------------------
+    # Hits and misses are observed where the fetch happens (the offload
+    # engine: a fetch served by an in-flight prefetch is a hit, a blocking
+    # NVMe read is a miss); mis-predicts are trace invalidations — the
+    # operator sequence diverged from what lookahead was issued against.
+    @property
+    def hits(self) -> int:
+        return self.offload.counters.prefetch_hits
+
+    @property
+    def misses(self) -> int:
+        return self.offload.counters.prefetch_misses
+
+    @property
+    def mispredicts(self) -> int:
+        return self.invalidations
+
+    def stats(self) -> dict[str, int]:
+        """Overlap-quality counters for summaries and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "mispredicts": self.mispredicts,
+            "issued": self.issued,
+            "depth": self.depth,
+        }
+
     # --- iteration lifecycle -----------------------------------------------------
     def begin_iteration(self) -> None:
         """Reset the position and start observing this iteration's events."""
@@ -99,6 +128,10 @@ class DynamicPrefetcher:
         """
         if self.trace is not None and self._position != len(self.trace.events):
             self.invalidations += 1
+            get_registry().counter("prefetch.mispredicts").inc()
+            trace_instant(
+                "prefetch:invalidate", cat="prefetch", reason="short_iteration"
+            )
             self.trace = None
         if self.trace is None:
             self._observed.finish()
@@ -123,6 +156,10 @@ class DynamicPrefetcher:
             # observed sequence (including events before the divergence)
             # becomes the new trace at end_iteration.
             self.invalidations += 1
+            get_registry().counter("prefetch.mispredicts").inc()
+            trace_instant(
+                "prefetch:invalidate", cat="prefetch", reason="divergence"
+            )
             self.trace = None
             return
         self._position += 1
@@ -131,11 +168,18 @@ class DynamicPrefetcher:
 
     def _issue_lookahead(self, trace: OperatorTrace) -> None:
         hi = min(self._position + self.depth, len(trace.events))
-        for i in range(self._position, hi):
-            future = trace.module_at(i)
-            for param in future.direct_parameters():
-                if param.state is not PartitionState.PARTITIONED:
-                    continue
-                for key, rank in self.partitioner.prefetch_keys(param):
-                    if self.offload.prefetch(key, rank=rank):
-                        self.issued += 1
+        started = 0
+        with trace_span(
+            "prefetch:lookahead", cat="prefetch", position=self._position
+        ):
+            for i in range(self._position, hi):
+                future = trace.module_at(i)
+                for param in future.direct_parameters():
+                    if param.state is not PartitionState.PARTITIONED:
+                        continue
+                    for key, rank in self.partitioner.prefetch_keys(param):
+                        if self.offload.prefetch(key, rank=rank):
+                            started += 1
+        if started:
+            self.issued += started
+            get_registry().counter("prefetch.issued").inc(started)

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_span
 from repro.utils.units import MIB
 
 
@@ -93,6 +96,15 @@ class AsyncIOEngine:
         self._lock = threading.Lock()
         self.stats = IOStats()
         self._closed = False
+        # Cached instrument handles: queue depth (in-flight requests) and
+        # submit-to-completion latency per direction, registry-global so
+        # every engine in the process aggregates into one view.
+        registry = get_registry()
+        self._m_depth = registry.gauge("nvme.queue_depth")
+        self._m_latency = {
+            "read": registry.histogram("nvme.read_us"),
+            "write": registry.histogram("nvme.write_us"),
+        }
 
     # --- internal block ops ------------------------------------------------------
     @staticmethod
@@ -136,7 +148,33 @@ class AsyncIOEngine:
         with self._lock:
             self._inflight = [r for r in self._inflight if not r.done()]
             self._inflight.append(req)
+        self._watch_completion(req)
         return req
+
+    def _watch_completion(self, req: IORequest) -> None:
+        """Meter queue depth and submit-to-completion latency.
+
+        The gauge rises on submit and falls when the *last* sub-block
+        future completes, so its high-water mark is the realized queue
+        depth; the histogram records whole-request latency in µs.
+        """
+        self._m_depth.add(1)
+        t0 = time.perf_counter_ns()
+        remaining = [len(req._futures)]
+        lock = threading.Lock()
+
+        def _done(_f: Future) -> None:
+            with lock:
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            self._m_depth.add(-1)
+            self._m_latency[req.kind].observe(
+                (time.perf_counter_ns() - t0) / 1e3
+            )
+
+        for f in req._futures:
+            f.add_done_callback(_done)
 
     def _require_open(self) -> None:
         if self._closed:
@@ -154,20 +192,33 @@ class AsyncIOEngine:
         self._require_open()
         data = np.ascontiguousarray(array)
         view = memoryview(data).cast("B")
-        # Pre-size the file so parallel pwrites of disjoint ranges are safe.
-        end = file_offset + len(view)
-        fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
-        try:
-            if os.fstat(fd).st_size < end:
-                os.ftruncate(fd, end)
-        finally:
-            os.close(fd)
-        futures = [
-            self._pool.submit(self._pwrite, path, view[o : o + n], file_offset + o)
-            for o, n in self._split(len(view))
-        ]
-        self.stats.add_write(len(view))
-        return self._track(IORequest(futures, "write", len(view)))
+        with trace_span("nvme:submit_write", cat="nvme", bytes=len(view)):
+            # Pre-size the file so parallel pwrites of disjoint ranges are safe.
+            end = file_offset + len(view)
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
+            try:
+                if os.fstat(fd).st_size < end:
+                    os.ftruncate(fd, end)
+            finally:
+                os.close(fd)
+            futures = [
+                self._pool.submit(
+                    self._pwrite_block, path, view[o : o + n], file_offset + o
+                )
+                for o, n in self._split(len(view))
+            ]
+            self.stats.add_write(len(view))
+            return self._track(IORequest(futures, "write", len(view)))
+
+    def _pwrite_block(self, path: str, data: memoryview, offset: int) -> None:
+        """One sub-block write on a worker thread, span on its own lane."""
+        with trace_span("nvme:pwrite", cat="nvme", bytes=len(data)):
+            self._pwrite(path, data, offset)
+
+    def _pread_block(self, path: str, out: memoryview, offset: int) -> None:
+        """One sub-block read on a worker thread, span on its own lane."""
+        with trace_span("nvme:pread", cat="nvme", bytes=len(out)):
+            self._pread(path, out, offset)
 
     def submit_read(
         self, path: str, out: np.ndarray, *, file_offset: int = 0
@@ -177,12 +228,15 @@ class AsyncIOEngine:
         if not out.flags["C_CONTIGUOUS"]:
             raise ValueError("read target must be C-contiguous (pinned buffer)")
         view = memoryview(out).cast("B")
-        futures = [
-            self._pool.submit(self._pread, path, view[o : o + n], file_offset + o)
-            for o, n in self._split(len(view))
-        ]
-        self.stats.add_read(len(view))
-        return self._track(IORequest(futures, "read", len(view)))
+        with trace_span("nvme:submit_read", cat="nvme", bytes=len(view)):
+            futures = [
+                self._pool.submit(
+                    self._pread_block, path, view[o : o + n], file_offset + o
+                )
+                for o, n in self._split(len(view))
+            ]
+            self.stats.add_read(len(view))
+            return self._track(IORequest(futures, "read", len(view)))
 
     def write(self, path: str, array: np.ndarray, *, file_offset: int = 0) -> None:
         """Synchronous write (submit + wait)."""

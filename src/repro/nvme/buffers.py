@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 
 class PinnedBudgetExceeded(MemoryError):
     """Acquisition would push live pinned bytes past the pool budget."""
@@ -86,6 +88,9 @@ class PinnedBufferPool:
         self._cached_bytes = 0
         self._lock = threading.Lock()
         self.stats = _PoolStats()
+        # Registry gauge: pool occupancy (live + cached), whose high-water
+        # mark is the "how close did we come to the pinned budget" signal.
+        self._m_occupancy = get_registry().gauge("nvme.pinned_pool_bytes")
 
     # --- accounting --------------------------------------------------------------
     @property
@@ -122,6 +127,7 @@ class PinnedBufferPool:
                     self.stats.peak_bytes = max(
                         self.stats.peak_bytes, self._live_bytes + self._cached_bytes
                     )
+                    self._m_occupancy.set(self._live_bytes + self._cached_bytes)
                     return PinnedBuffer(buf, numel, dtype, self)
             # Evict cached buffers (smallest first) until the new allocation fits.
             while (
@@ -141,6 +147,7 @@ class PinnedBufferPool:
             self.stats.peak_bytes = max(
                 self.stats.peak_bytes, self._live_bytes + self._cached_bytes
             )
+            self._m_occupancy.set(self._live_bytes + self._cached_bytes)
             return PinnedBuffer(storage, numel, dtype, self)
 
     def _give_back(self, storage: np.ndarray) -> None:
@@ -162,3 +169,4 @@ class PinnedBufferPool:
         with self._lock:
             self._free.clear()
             self._cached_bytes = 0
+            self._m_occupancy.set(self._live_bytes)

@@ -1,0 +1,71 @@
+"""Unified telemetry: span tracing, metrics, and trace export.
+
+The observability layer for the *real* execution paths (the simulator has
+its own timeline in :mod:`repro.sim`).  Three pieces:
+
+* :mod:`repro.obs.tracer` — a low-overhead, thread-aware span tracer with
+  a no-op fast path, recording into a process-global :class:`Tracer`;
+* :mod:`repro.obs.metrics` — a global registry of counters, gauges and
+  histograms every layer aggregates into;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSONL, and
+  ASCII summary exporters.
+
+Typical use::
+
+    from repro.obs import use_tracer, write_chrome_trace, get_registry
+
+    with use_tracer() as tracer:
+        engine.train_step(batches)
+    write_chrome_trace("trace.json", tracer, get_registry())
+    # open trace.json at https://ui.perfetto.dev
+"""
+
+from repro.obs.tracer import (
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_instant,
+    trace_span,
+    tracing_enabled,
+    use_tracer,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    sim_to_chrome_trace,
+    telemetry_summary,
+    write_chrome_trace,
+    write_sim_trace,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "trace_instant",
+    "trace_span",
+    "tracing_enabled",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "chrome_trace",
+    "chrome_trace_events",
+    "sim_to_chrome_trace",
+    "telemetry_summary",
+    "write_chrome_trace",
+    "write_sim_trace",
+    "write_spans_jsonl",
+]

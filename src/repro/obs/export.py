@@ -1,0 +1,212 @@
+"""Trace and metrics exporters.
+
+Three sinks, one source of truth:
+
+* **Chrome trace-event JSON** — :func:`chrome_trace` /
+  :func:`write_chrome_trace` emit the ``chrome://tracing`` / Perfetto
+  format (complete ``"X"`` events plus thread-name metadata), so a traced
+  run opens directly in ``https://ui.perfetto.dev``.  Simulated timelines
+  export through :func:`sim_to_chrome_trace` with one lane per stream.
+* **JSONL** — :func:`write_spans_jsonl` reuses the
+  :class:`~repro.workloads.metrics.MetricsLogger` record format (one JSON
+  object per line, ``event``/``seq`` fields) so span logs and step logs
+  land in the same ingestion pipeline.
+* **ASCII** — :func:`telemetry_summary` renders per-category span totals
+  and the metrics-registry snapshot as aligned tables for terminal runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import Tracer
+from repro.utils.tables import Table
+
+TRACE_PID = 0  # single-process system: everything under one pid
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Spans as Chrome trace-event dicts, sorted by (lane, start time).
+
+    Spans are committed at *exit* (an enclosing span lands after its
+    children), so records are re-sorted here to give each lane
+    monotonically non-decreasing ``ts``; ties break longest-first so
+    complete events nest correctly.
+    """
+    events: list[dict] = []
+    for lane, name in sorted(tracer.lane_names().items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": lane,
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": TRACE_PID,
+                "tid": lane,
+                "args": {"sort_index": lane},
+            }
+        )
+    spans = sorted(tracer.records(), key=lambda r: (r.tid, r.ts_us, -r.dur_us))
+    for r in spans:
+        ev = {
+            "name": r.name,
+            "cat": r.cat,
+            "ts": r.ts_us,
+            "pid": TRACE_PID,
+            "tid": r.tid,
+        }
+        if r.args:
+            ev["args"] = dict(r.args)
+        if r.instant:
+            ev["ph"] = "i"
+            ev["s"] = "t"  # thread-scoped instant
+        else:
+            ev["ph"] = "X"
+            ev["dur"] = r.dur_us
+        events.append(ev)
+    return events
+
+
+def chrome_trace(
+    tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+) -> dict:
+    """Full trace document; metrics snapshot rides along in ``otherData``."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "dropped_spans": tracer.dropped},
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = metrics.snapshot()
+    return doc
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+) -> int:
+    """Write the trace JSON to ``path``; returns the number of span events."""
+    doc = chrome_trace(tracer, metrics)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return sum(1 for e in doc["traceEvents"] if e["ph"] in ("X", "i"))
+
+
+def sim_to_chrome_trace(result) -> dict:
+    """A simulated timeline (:class:`~repro.sim.events.SimulationResult`)
+    as a Chrome trace: one lane per stream, one complete event per task.
+
+    Simulated seconds map to trace microseconds 1:1 scaled by 1e6, so a
+    4.2 s makespan reads as 4.2 s in Perfetto.
+    """
+    streams = sorted({t.stream for t in result.tasks})
+    lane_of = {s: i for i, s in enumerate(streams)}
+    events: list[dict] = []
+    for stream, lane in lane_of.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": lane,
+                "args": {"name": f"stream:{stream}"},
+            }
+        )
+    for t in sorted(result.tasks, key=lambda t: (lane_of[t.stream], t.start)):
+        events.append(
+            {
+                "name": t.name,
+                "cat": t.stream,
+                "ph": "X",
+                "ts": t.start * 1e6,
+                "dur": (t.finish - t.start) * 1e6,
+                "pid": TRACE_PID,
+                "tid": lane_of[t.stream],
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.sim", "makespan_s": result.makespan},
+    }
+
+
+def write_sim_trace(path: str, result) -> int:
+    """Write a simulated timeline as Chrome trace JSON; returns task count."""
+    doc = sim_to_chrome_trace(result)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+
+
+def write_spans_jsonl(path: str, tracer: Tracer, *, run_name: str = "") -> int:
+    """Append every span to ``path`` in the MetricsLogger JSONL format.
+
+    Each line is an ``event="span"`` record, so :func:`read_metrics`
+    filters them with ``event="span"`` like any other run event.
+    """
+    # Local import: workloads pulls in the trainer/engine stack, which
+    # itself imports repro.obs — a module-level import would be circular.
+    from repro.workloads.metrics import MetricsLogger
+
+    records = tracer.records()
+    with MetricsLogger(path, run_name=run_name, flush_every=256) as log:
+        for r in records:
+            log.log(
+                "span",
+                name=r.name,
+                cat=r.cat,
+                ts_us=r.ts_us,
+                dur_us=r.dur_us,
+                tid=r.tid,
+                thread=r.thread,
+                **{k: v for k, v in r.args.items() if k not in ("name", "cat")},
+            )
+    return len(records)
+
+
+def telemetry_summary(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """ASCII tables: span time by category, plus the metrics snapshot."""
+    parts: list[str] = []
+    if tracer is not None:
+        by_cat: dict[str, tuple[int, float]] = {}
+        for r in tracer.records():
+            n, total = by_cat.get(r.cat, (0, 0.0))
+            by_cat[r.cat] = (n + 1, total + r.dur_us)
+        t = Table(
+            ["category", "spans", "total ms", "mean us"],
+            title="Span time by category",
+        )
+        for cat in sorted(by_cat):
+            n, total = by_cat[cat]
+            t.add_row([cat, n, total / 1e3, total / n])
+        parts.append(t.render())
+    snap = (metrics if metrics is not None else get_registry()).snapshot()
+    if snap:
+        t = Table(["metric", "kind", "value", "extra"], title="Metrics registry")
+        for name, s in snap.items():
+            kind = s["type"]
+            if kind == "counter":
+                value, extra = s["value"], ""
+            elif kind == "gauge":
+                value, extra = s["value"], f"high-water {s['high_water']}"
+            else:
+                value = s["count"]
+                extra = (
+                    f"mean {s['mean']:.1f} p50 {s['p50']:.1f}"
+                    f" p99 {s['p99']:.1f} max {s['max']:.1f}"
+                )
+            t.add_row([name, kind, value, extra])
+        parts.append(t.render())
+    return "\n\n".join(parts) if parts else "(no telemetry recorded)"

@@ -1,0 +1,203 @@
+"""Global metrics registry: counters, gauges, histograms.
+
+Where the tracer answers "when did it happen", the registry answers "how
+much, in total": prefetch hits/misses/mis-predicts, per-collective byte
+volumes, pinned-pool occupancy high-water marks, NVMe queue depth and
+request latency.  Instruments are cheap enough to leave always-on — an
+increment is a lock acquire and an add — and the registry snapshot feeds
+``EngineReport.telemetry``, the JSONL exporter, and the ASCII summary.
+
+Instruments are get-or-create by name, so layers that cannot share object
+references (the pinned pool, the aio engine, the collectives) still
+aggregate into one place.  Names are dotted paths (``comm.bytes.allgather``,
+``nvme.read_us``) — the convention the summary table groups by.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Optional, Union
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A level that moves both ways, with a high-water mark."""
+
+    __slots__ = ("name", "_value", "_high_water", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._high_water = 0
+        self._lock = threading.Lock()
+
+    def set(self, v: Union[int, float]) -> None:
+        with self._lock:
+            self._value = v
+            if v > self._high_water:
+                self._high_water = v
+
+    def add(self, delta: Union[int, float]) -> None:
+        with self._lock:
+            self._value += delta
+            if self._value > self._high_water:
+                self._high_water = self._value
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    @property
+    def high_water(self) -> Union[int, float]:
+        return self._high_water
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value, "high_water": self._high_water}
+
+
+# Geometric 1-2-5 bucket bounds from 1 to 10^7 (µs scale by convention, but
+# unit-agnostic): latency distributions are long-tailed, so log-ish buckets.
+_DEFAULT_BOUNDS = tuple(
+    m * 10**e for e in range(0, 8) for m in (1, 2, 5)
+)
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max and quantile estimates."""
+
+    __slots__ = ("name", "bounds", "_counts", "count", "total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, bounds: Optional[tuple] = None) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else _DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        self._counts = [0] * (len(self.bounds) + 1)  # last = overflow
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, v: Union[int, float]) -> None:
+        idx = bisect.bisect_left(self.bounds, v)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.total += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= target and c:
+                return float(self.bounds[i]) if i < len(self.bounds) else self._max
+        return self._max
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self._min if self.count else 0.0,
+            "max": self._max if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed get-or-create home for every instrument."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, *args)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as"
+                    f" {type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, bounds: Optional[tuple] = None) -> Histogram:
+        if bounds is None:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, bounds)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str):
+        with self._lock:
+            return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: {"type": ..., "value"/"count"/...}}`` for every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in sorted(instruments)}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and per-run isolation)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry the instrumented layers aggregate into."""
+    return _global_registry

@@ -10,7 +10,8 @@ glance — the textual analogue of a profiler trace:
 
 Each column is a time slice; a filled cell means the stream was busy.
 Distinct task-name prefixes rotate through marker characters so phases can
-be told apart.
+be told apart; the legend footer names every marker and the makespan line
+states the time scale, so the chart is self-describing.
 """
 
 from __future__ import annotations
@@ -52,8 +53,14 @@ def render_gantt(
         lines.append(
             f"{stream.ljust(label_width)}|{''.join(row)}| {busy:4.0%}"
         )
+    pad = " " * label_width
     legend = "  ".join(f"{m}={p}" for p, m in marker_of.items())
-    lines.append(f"{'':{label_width}} t=0 .. {result.makespan:.3g}s   {legend}")
+    lines.append(f"{pad} legend: {legend}  (right column = stream busy %)")
+    lines.append(
+        f"{pad} makespan {result.makespan:.4g}s"
+        f"  t=0 .. {result.makespan:.3g}s over {width} cols"
+        f" ({result.makespan / width:.3g}s/col)"
+    )
     return "\n".join(lines)
 
 

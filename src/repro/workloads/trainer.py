@@ -15,6 +15,7 @@ from typing import Callable, Iterator, Optional
 
 from repro.core.checkpoint_io import load_checkpoint, save_checkpoint
 from repro.core.engine import ZeroInfinityEngine
+from repro.obs.tracer import trace_span
 
 
 @dataclass
@@ -86,7 +87,8 @@ class Trainer:
                 lr = self.schedule.apply(self.engine.optimizer, step)
             else:
                 lr = self.engine.optimizer.lr
-            result = self.engine.train_step_accumulated(self._next_rounds())
+            with trace_span("trainer:step", cat="engine", step=step):
+                result = self.engine.train_step_accumulated(self._next_rounds())
             self.history.losses.append(result.mean_loss)
             self.history.lrs.append(lr)
             if result.skipped:

@@ -72,6 +72,36 @@ class TestMetricsLogger:
             log.log("x")
         assert os.path.exists(path)
 
+    def test_close_is_idempotent(self, tmp_path):
+        log = MetricsLogger(str(tmp_path / "run.jsonl"))
+        log.log("x")
+        assert not log.closed
+        log.close()
+        log.close()  # second close must be a no-op, not an error
+        assert log.closed
+
+    def test_log_after_close_raises(self, tmp_path):
+        log = MetricsLogger(str(tmp_path / "run.jsonl"))
+        log.close()
+        with pytest.raises(ValueError, match="closed"):
+            log.log("late")
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        log = MetricsLogger(path, flush_every=3)
+        log.log("a")
+        log.log("b")
+        assert read_metrics(path) == []  # buffered: nothing durable yet
+        log.log("c")  # third event crosses the batch boundary
+        assert [r["event"] for r in read_metrics(path)] == ["a", "b", "c"]
+        log.log("d")
+        log.close()  # close flushes the partial batch
+        assert len(read_metrics(path)) == 4
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            MetricsLogger(str(tmp_path / "run.jsonl"), flush_every=0)
+
 
 class TestTrainerIntegration:
     def test_trainer_writes_metrics(self, tmp_path):

@@ -43,6 +43,25 @@ class TestRenderGantt:
         out = render_gantt(small_graph())
         assert "compute-fwd" in out and "nc-fetch" in out
 
+    def test_legend_maps_markers_to_prefixes(self):
+        out = render_gantt(small_graph())
+        legend = next(l for l in out.splitlines() if "legend:" in l)
+        # markers rotate through prefixes in sorted order
+        assert "#=compute-fwd" in legend
+        assert "==nc-fetch" in legend
+
+    def test_makespan_footer(self):
+        out = render_gantt(small_graph(), width=40)
+        footer = next(l for l in out.splitlines() if "makespan" in l)
+        assert "makespan 4s" in footer  # 2s fwd + 2s dependent fwd
+        assert "40 cols" in footer
+        assert "0.1s/col" in footer
+
+    def test_footer_lines_follow_chart(self):
+        lines = render_gantt(small_graph()).splitlines()
+        assert "legend:" in lines[-2]
+        assert "makespan" in lines[-1]
+
     def test_empty_graph(self):
         assert render_gantt(TaskGraph().run()) == "(empty timeline)"
 

@@ -29,6 +29,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.sim",
     "repro.workloads",
+    "repro.obs",
     "repro.utils",
 ]
 
