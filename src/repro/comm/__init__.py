@@ -12,11 +12,13 @@ simulator.
 from repro.comm.group import CommStats, ProcessGroup
 from repro.comm.collectives import (
     allgather,
+    allgather_into,
     allreduce,
     alltoall,
     broadcast,
     gather,
     reduce_scatter,
+    reduce_scatter_into,
     scatter,
 )
 from repro.comm.cost import (
@@ -30,11 +32,13 @@ __all__ = [
     "CommStats",
     "ProcessGroup",
     "allgather",
+    "allgather_into",
     "allreduce",
     "alltoall",
     "broadcast",
     "gather",
     "reduce_scatter",
+    "reduce_scatter_into",
     "scatter",
     "CollectiveCostModel",
     "HierarchicalCostModel",

@@ -53,6 +53,101 @@ def allgather(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
         return [full.copy() for _ in range(world)]
 
 
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    """A non-writeable view of ``array`` (shared result, no per-rank copy)."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def allgather_into(
+    shards: Sequence[np.ndarray], out: np.ndarray
+) -> list[np.ndarray]:
+    """Zero-copy allgather: concatenate shards into a caller-owned buffer.
+
+    Unlike :func:`allgather`, which materialises one full copy per rank,
+    the rank-order concatenation is written once into ``out`` (a flat,
+    reusable buffer of at least the total shard size) and every rank
+    receives a read-only view of the same memory.  In the single-process
+    simulation all ranks genuinely share the buffer; callers that need a
+    private mutable copy must take one — exactly the discipline a real
+    symmetric-memory collective imposes.
+    """
+    world = _check_world(shards)
+    flats = [np.asarray(s).reshape(-1) for s in shards]
+    total = sum(f.size for f in flats)
+    if out.ndim != 1 or out.size < total:
+        raise ValueError(
+            f"allgather_into needs a flat out buffer of >= {total} elements,"
+            f" got shape {out.shape}"
+        )
+    payload = sum(int(f.nbytes) for f in flats)
+    with trace_span("comm:allgather", cat="comm", world=world, bytes=payload):
+        offset = 0
+        base_ptr = out.__array_interface__["data"][0]
+        itemsize = out.itemsize
+        for f in flats:
+            # NCCL-style in-place allgather: a shard that already *is* the
+            # right slice of ``out`` (sendbuf == recvbuf + offset) is not
+            # copied — callers may assemble shards directly in the buffer
+            if not (
+                f.dtype == out.dtype
+                and f.__array_interface__["data"][0]
+                == base_ptr + offset * itemsize
+            ):
+                out[offset : offset + f.size] = f
+            offset += f.size
+        view = _readonly_view(out[:total])
+        return [view for _ in range(world)]
+
+
+def reduce_scatter_into(
+    buffers: Sequence[np.ndarray],
+    out: np.ndarray,
+    *,
+    op: str = "sum",
+    accum_dtype=np.float32,
+) -> list[np.ndarray]:
+    """Zero-copy reduce-scatter into a caller-owned buffer.
+
+    The elementwise reduction of ``buffers`` is written once into ``out``
+    (flat, same total size) and rank ``r`` receives a read-only view of its
+    shard ``out[r*n/p : (r+1)*n/p]`` — no fresh allocation per rank, so a
+    fixed-capacity gradient bucket can reuse the same output buffer for
+    every flush.
+    """
+    world = _check_world(buffers)
+    flats = [np.asarray(b).reshape(-1) for b in buffers]
+    n = flats[0].size
+    for f in flats:
+        if f.size != n:
+            raise ValueError("reduce_scatter buffers must share a size")
+    if n % world:
+        raise ValueError(f"reduce_scatter needs size % world == 0: {n} % {world}")
+    if op not in ("sum", "mean"):
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if out.ndim != 1 or out.size < n:
+        raise ValueError(
+            f"reduce_scatter_into needs a flat out buffer of >= {n} elements,"
+            f" got shape {out.shape}"
+        )
+    payload = sum(int(f.nbytes) for f in flats)
+    with trace_span(
+        "comm:reduce_scatter", cat="comm", world=world, bytes=payload, op=op
+    ):
+        acc = np.zeros(n, dtype=accum_dtype)
+        for f in flats:
+            acc += f.astype(accum_dtype, copy=False)
+        if op == "mean":
+            acc /= world
+        out[:n] = acc.astype(out.dtype, copy=False)
+        shard = n // world
+        return [
+            _readonly_view(out[r * shard : (r + 1) * shard])
+            for r in range(world)
+        ]
+
+
 def gather(shards: Sequence[np.ndarray], root: int) -> list[np.ndarray | None]:
     """Root receives the concatenation; other ranks receive ``None``."""
     world = _check_world(shards)
@@ -94,15 +189,16 @@ def allreduce(
         raise ValueError(f"unsupported reduction op {op!r}")
     payload = sum(int(b.nbytes) for b in buffers)
     with trace_span("comm:allreduce", cat="comm", world=world, bytes=payload, op=op):
-        acc = np.zeros(shape, dtype=accum_dtype)
-        for b in buffers:
-            acc += b.astype(accum_dtype, copy=False)
-        if op == "mean":
-            acc /= world
-        elif op == "max":
+        if op == "max":
             acc = np.maximum.reduce(
                 [b.astype(accum_dtype, copy=False) for b in buffers]
             )
+        else:
+            acc = np.zeros(shape, dtype=accum_dtype)
+            for b in buffers:
+                acc += b.astype(accum_dtype, copy=False)
+            if op == "mean":
+                acc /= world
         out_dtype = buffers[0].dtype
         return [acc.astype(out_dtype) for _ in range(world)]
 

@@ -34,12 +34,19 @@ class CommStats:
     bytes_by_op: dict[str, int] = field(default_factory=dict)
     calls_by_op: dict[str, int] = field(default_factory=dict)
 
+    #: bytes-per-collective histogram bounds: geometric 1-2-5 up to 1 TB,
+    #: so both a bias gather and a full bucket flush land in a real bucket.
+    PAYLOAD_BOUNDS = tuple(m * 10**e for e in range(0, 13) for m in (1, 2, 5))
+
     def record(self, op: str, nbytes: int) -> None:
         self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
         self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
         registry = get_registry()
         registry.counter(f"comm.bytes.{op}").inc(int(nbytes))
         registry.counter(f"comm.calls.{op}").inc()
+        registry.histogram("comm.payload_bytes", self.PAYLOAD_BOUNDS).observe(
+            int(nbytes)
+        )
 
     @property
     def total_bytes(self) -> int:
@@ -84,6 +91,17 @@ class ProcessGroup:
         )
         return out
 
+    def allgather_into(
+        self, shards: Sequence[np.ndarray], out: np.ndarray
+    ) -> list[np.ndarray]:
+        """Allgather into a caller-owned reusable buffer (read-only views)."""
+        views = C.allgather_into(shards, out)
+        self.stats.record(
+            "allgather",
+            self._per_rank_ring_volume(views[0].nbytes) * self.world_size,
+        )
+        return views
+
     def reduce_scatter(
         self, buffers: Sequence[np.ndarray], *, op: str = "sum"
     ) -> list[np.ndarray]:
@@ -93,6 +111,17 @@ class ProcessGroup:
             self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
         )
         return out
+
+    def reduce_scatter_into(
+        self, buffers: Sequence[np.ndarray], out: np.ndarray, *, op: str = "sum"
+    ) -> list[np.ndarray]:
+        """Reduce-scatter into a caller-owned reusable buffer."""
+        views = C.reduce_scatter_into(buffers, out, op=op)
+        self.stats.record(
+            "reduce_scatter",
+            self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
+        )
+        return views
 
     def allreduce(
         self, buffers: Sequence[np.ndarray], *, op: str = "sum"

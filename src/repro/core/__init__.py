@@ -29,6 +29,7 @@ from repro.core.config import (
     Strategy,
     STRATEGY_PRESETS,
 )
+from repro.core.bucket import BucketStats, GradientBucketStore
 from repro.core.partition import ZeroParamMeta, ParameterPartitioner
 from repro.core.offload import InfinityOffloadEngine
 from repro.core.coordinator import ParameterCoordinator
@@ -57,6 +58,8 @@ __all__ = [
     "STRATEGY_PRESETS",
     "ZeroParamMeta",
     "ParameterPartitioner",
+    "BucketStats",
+    "GradientBucketStore",
     "InfinityOffloadEngine",
     "ParameterCoordinator",
     "DynamicPrefetcher",

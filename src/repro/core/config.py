@@ -73,6 +73,17 @@ class ZeroConfig:
     overlap_comm: bool = True
     # Gradient reduction: "mean" matches DDP gradient averaging.
     reduce_op: str = "mean"
+    # Gradient bucketing (ZeRO's reduce_bucket_size): harvested gradients
+    # accumulate into fixed-capacity flat buckets that reduce-scatter as one
+    # collective when full (and at step boundaries), so the collective count
+    # is O(numel / bucket) instead of O(#params).  0 falls back to one
+    # padded reduce-scatter per parameter.
+    reduce_bucket_numel: int = 500_000
+    # Module-granularity coalesced allgather (Sec. 5.1: fetch "a layer's
+    # worth" of shards in one collective): gather every parameter of a
+    # module from a single allgather of the per-rank shard concatenations.
+    # False issues one allgather per parameter.
+    coalesce_allgather: bool = True
     grad_accum_dtype: str = "fp32"
     # Mixed precision.
     master_dtype: str = "fp32"
@@ -93,6 +104,8 @@ class ZeroConfig:
             raise ValueError("prefetch_depth must be non-negative")
         if self.reduce_op not in ("mean", "sum"):
             raise ValueError("reduce_op must be 'mean' or 'sum'")
+        if self.reduce_bucket_numel < 0:
+            raise ValueError("reduce_bucket_numel must be >= 0 (0 disables)")
         if self.stage < ZeroStage.PARAMETERS:
             if self.offload.param_device is not OffloadDevice.NONE:
                 raise ValueError(

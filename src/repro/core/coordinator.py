@@ -26,7 +26,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.comm.group import ProcessGroup
-from repro.core.config import ZeroConfig, ZeroStage
+from repro.core.bucket import GradientBucketStore
+from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
 from repro.core.offload import InfinityOffloadEngine
 from repro.core.partition import ParameterPartitioner
 from repro.core.prefetch import DynamicPrefetcher
@@ -81,6 +82,21 @@ class ParameterCoordinator:
         # grad-shard keys written during the current accumulation window;
         # guards against merging with stale shards from a previous step
         self._accum_seen: set[str] = set()
+        # bucketed reduce path (ZeRO-2+): harvested gradients coalesce into
+        # fixed-capacity buckets, one reduce-scatter per flush instead of
+        # one per parameter; 0 keeps the per-parameter collectives
+        self.bucket_store: Optional[GradientBucketStore] = None
+        if (
+            config.reduce_bucket_numel > 0
+            and config.stage >= ZeroStage.GRADIENTS
+        ):
+            self.bucket_store = GradientBucketStore(
+                config.world_size,
+                config.reduce_bucket_numel,
+                comm,
+                on_shard=self._stash_reduced_shard,
+                reduce_op=config.reduce_op,
+            )
         self._install()
 
     # --- installation ----------------------------------------------------------
@@ -109,7 +125,32 @@ class ParameterCoordinator:
         self._removers.clear()
 
     # --- gather/release helpers ------------------------------------------------
+    def _module_gather_params(self, module: Module) -> list[Parameter]:
+        """The module's direct parameters plus its registered externals."""
+        params = list(module.direct_parameters())
+        seen = {id(p) for p in params}
+        for p in self.external_registry.params_for(module):
+            if id(p) not in seen:
+                params.append(p)
+                seen.add(id(p))
+        return params
+
     def _gather_module(self, module: Module) -> None:
+        if self.config.coalesce_allgather:
+            params = [
+                p
+                for p in self._module_gather_params(module)
+                if p.state is PartitionState.PARTITIONED
+            ]
+            if not params:
+                return
+            with trace_span(
+                "engine:allgather_coalesced", cat="engine",
+                params=len(params),
+                numel=sum(p.full_numel for p in params),
+            ):
+                self.stats.gathers += self.partitioner.gather_coalesced(params)
+            return
         for p in module.direct_parameters():
             if p.state is PartitionState.PARTITIONED:
                 with trace_span(
@@ -184,6 +225,12 @@ class ParameterCoordinator:
         self.stats.grad_reductions += 1
         world = self.config.world_size
         if self.config.stage >= ZeroStage.GRADIENTS:
+            if self.bucket_store is not None:
+                # bank into the flat bucket; the reduce-scatter happens once
+                # per bucket flush (capacity or step boundary), which calls
+                # back into _stash_reduced_shard per (param, rank)
+                self.bucket_store.add(param, grads)
+                return
             padded = pad_to_multiple(max(param.full_numel, 1), world)
             flats = []
             for g in grads:
@@ -192,22 +239,7 @@ class ParameterCoordinator:
                 flats.append(f)
             shards = self.comm.reduce_scatter(flats, op=self.config.reduce_op)
             for rank, shard in enumerate(shards):
-                key = f"p{param.unique_id}.r{rank}.grad16"
-                if self.accumulating:
-                    if key in self._accum_seen:
-                        # the prior round's async write must land first
-                        self.flush_grad_offload()
-                        shard = shard + self.offload.fetch(key, rank=rank)
-                    self._accum_seen.add(key)
-                handle = self.offload.stash(
-                    key,
-                    shard,
-                    self.config.offload.grad_device,
-                    rank=rank,
-                    sync=not self.config.overlap_comm,
-                )
-                if handle is not None:
-                    self._grad_handles.append(handle)
+                self._stash_reduced_shard(param, rank, shard)
         else:
             reduced = self.comm.allreduce(grads, op=self.config.reduce_op)
             # Full gradient kept per rank (classic DP / ZeRO-1); all ranks
@@ -221,6 +253,41 @@ class ParameterCoordinator:
                 param.grad = None
             else:
                 param.grad = reduced[0]
+
+    def _stash_reduced_shard(
+        self, param: Parameter, rank: int, shard: np.ndarray
+    ) -> None:
+        """Place one reduced gradient shard (accumulating across rounds)."""
+        key = f"p{param.unique_id}.r{rank}.grad16"
+        if self.accumulating:
+            if key in self._accum_seen:
+                # the prior round's async write must land first
+                self.flush_grad_offload()
+                shard = shard + self.offload.fetch(key, rank=rank)
+            self._accum_seen.add(key)
+        sync = not self.config.overlap_comm
+        if (
+            self.config.offload.grad_device is OffloadDevice.NVME
+            and not sync
+            and not shard.flags.owndata
+        ):
+            # async NVMe writes read from the caller's memory after return;
+            # a view of the reusable bucket buffer must be copied out first
+            shard = shard.copy()
+        handle = self.offload.stash(
+            key,
+            shard,
+            self.config.offload.grad_device,
+            rank=rank,
+            sync=sync,
+        )
+        if handle is not None:
+            self._grad_handles.append(handle)
+
+    def flush_reduce_buckets(self) -> None:
+        """Reduce-scatter any partially filled gradient buckets."""
+        if self.bucket_store is not None:
+            self.bucket_store.flush()
 
     def flush_grad_offload(self) -> None:
         """Wait for in-flight asynchronous gradient writes (step boundary)."""
@@ -242,6 +309,9 @@ class ParameterCoordinator:
 
     def end_accumulation(self) -> None:
         """Finish the step: install accumulated full gradients (stage < 2)."""
+        # drain buckets while still accumulating so flushed shards merge
+        # with prior rounds' stashes
+        self.flush_reduce_buckets()
         self.accumulating = False
         for pid, grad in self._full_grad_accum.items():
             self._params_by_id[pid].grad = grad

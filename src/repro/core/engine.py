@@ -79,6 +79,15 @@ class EngineReport:
     # {metric name -> {"type": ..., "value"/"count"/...}}.  Process-global,
     # so values aggregate across every engine in the process.
     telemetry: dict[str, dict] = None  # type: ignore[assignment]
+    # Collective-call counts per op plus the bucketed-reduce counters —
+    # the comm-budget numbers the regression tests assert on.
+    comm_calls_by_op: dict[str, int] = None  # type: ignore[assignment]
+    bucket_flushes: int = 0
+    grads_bucketed: int = 0
+
+    @property
+    def total_collective_calls(self) -> int:
+        return sum((self.comm_calls_by_op or {}).values())
 
 
 def tile_oversized_linears(
@@ -382,8 +391,15 @@ class ZeroInfinityEngine:
             f" activations={off.activation_device.value}",
             f"  retrieval: "
             + ("bandwidth-centric allgather" if cfg.bandwidth_centric else "owner broadcast")
+            + (" (coalesced)" if cfg.coalesce_allgather else " (per-param)")
             + f", prefetch depth {cfg.prefetch_depth}"
             + ("" if cfg.overlap_comm else " (overlap off)"),
+            f"  grad reduce: "
+            + (
+                f"bucketed (capacity {cfg.reduce_bucket_numel:,} numel)"
+                if self.coordinator.bucket_store is not None
+                else "per-parameter"
+            ),
             f"  loss scaling: "
             + (
                 f"static x{cfg.loss_scale:g}"
@@ -429,6 +445,17 @@ class ZeroInfinityEngine:
             ),
             prefetch_issued=self.prefetcher.issued if self.prefetcher else 0,
             telemetry=get_registry().snapshot(),
+            comm_calls_by_op=dict(self.comm.stats.calls_by_op),
+            bucket_flushes=(
+                self.coordinator.bucket_store.stats.collectives
+                if self.coordinator.bucket_store
+                else 0
+            ),
+            grads_bucketed=(
+                self.coordinator.bucket_store.stats.grads_bucketed
+                if self.coordinator.bucket_store
+                else 0
+            ),
         )
 
     # --- lifecycle -----------------------------------------------------------------

@@ -154,11 +154,66 @@ class InfinityOffloadEngine:
                 return req
         raise ValueError(f"unknown offload device {device}")
 
+    # --- in-place slice update ----------------------------------------------------
+    def update_slice(
+        self, key: str, offset_numel: int, array: np.ndarray, *, rank: int
+    ) -> None:
+        """Overwrite ``array.size`` elements of flat ``key`` at ``offset_numel``.
+
+        The write-through path for slice-level updates (owner-layout shard
+        write-back): only the slice crosses the host link, instead of the
+        fetch-whole/patch/re-stash round trip that moves the entire buffer
+        twice.  The key must already exist; tier placement is unchanged.
+        """
+        arr = np.ascontiguousarray(array).reshape(-1)
+        # an in-flight prefetch holds pre-update bytes; drain it so a later
+        # fetch cannot observe the stale staging buffer
+        with self._lock:
+            inflight = self._inflight.pop(key, None)
+        if inflight is not None:
+            inflight.request.wait()
+            if inflight.pin is not None:
+                inflight.pin.release()
+        entry = self._mem.get(key)
+        if entry is not None:
+            stored, tag = entry
+            if offset_numel < 0 or offset_numel + arr.size > stored.size:
+                raise ValueError(
+                    f"slice [{offset_numel}, {offset_numel + arr.size}) out of"
+                    f" bounds for {key!r} with {stored.size} elements"
+                )
+            flat = stored.reshape(-1)
+            on_cpu = tag is CPU or getattr(tag, "is_cpu", False)
+            with trace_span(
+                "offload:update_slice", cat="offload",
+                tier="cpu" if on_cpu else "gpu",
+                bytes=int(arr.nbytes), rank=rank,
+            ):
+                flat[offset_numel : offset_numel + arr.size] = arr.astype(
+                    stored.dtype, copy=False
+                )
+                if on_cpu:
+                    self.counters.add_link(rank, arr.nbytes)
+                    self.counters.cpu_write_bytes += arr.nbytes
+            return
+        if self.store is not None and key in self.store:
+            with trace_span(
+                "offload:update_slice", cat="offload", tier="nvme",
+                bytes=int(arr.nbytes), rank=rank,
+            ):
+                self.counters.add_link(rank, arr.nbytes)
+                self.counters.nvme_write_bytes += arr.nbytes
+                self.store.write_range(key, offset_numel, arr).wait()
+            return
+        raise KeyError(f"offload engine has no tensor {key!r}")
+
     # --- fetch -------------------------------------------------------------------
     def fetch(self, key: str, *, rank: int) -> np.ndarray:
         """Load the tensor stored under ``key`` (waits on any prefetch)."""
-        with self._lock:
-            inflight = self._inflight.pop(key, None)
+        inflight = None
+        if self._inflight:  # only ever populated when an NVMe tier exists
+            with self._lock:
+                inflight = self._inflight.pop(key, None)
         if inflight is not None:
             with trace_span(
                 "offload:swap_in", cat="offload", tier="nvme",
@@ -197,6 +252,62 @@ class InfinityOffloadEngine:
             self.counters.nvme_read_bytes += out.nbytes
             return out
         raise KeyError(f"offload engine has no tensor {key!r}")
+
+    def fetch_into(self, key: str, dest: np.ndarray, *, rank: int) -> None:
+        """Load ``key`` directly into ``dest`` — no intermediate allocation.
+
+        The zero-copy sibling of :meth:`fetch` for callers that own a
+        staging buffer (the coalesced gather path): resident tiers copy
+        straight from storage into ``dest``; the NVMe tier reads into it.
+        Byte accounting matches :meth:`fetch` exactly.
+        """
+        inflight = None
+        if self._inflight:  # only ever populated when an NVMe tier exists
+            with self._lock:
+                inflight = self._inflight.pop(key, None)
+        if inflight is not None:
+            with trace_span(
+                "offload:swap_in", cat="offload", tier="nvme",
+                prefetched=True, rank=rank,
+            ):
+                inflight.request.wait()
+                np.copyto(dest, inflight.buffer.reshape(-1)[: dest.size])
+            if inflight.pin is not None:
+                inflight.pin.release()
+            self.counters.prefetch_hits += 1
+            get_registry().counter("prefetch.hits").inc()
+            self.counters.add_link(rank, dest.nbytes)
+            self.counters.nvme_read_bytes += dest.nbytes
+            return
+        entry = self._mem.get(key)
+        if entry is not None:
+            arr, tag = entry
+            if arr.size != dest.size:
+                raise ValueError(
+                    f"{key!r} has {arr.size} elements, destination {dest.size}"
+                )
+            np.copyto(dest, arr.reshape(-1))
+            if tag is CPU or getattr(tag, "is_cpu", False):
+                self.counters.add_link(rank, arr.nbytes)
+                self.counters.cpu_read_bytes += arr.nbytes
+            return
+        if self.store is not None and key in self.store:
+            self.counters.prefetch_misses += 1
+            get_registry().counter("prefetch.misses").inc()
+            with trace_span(
+                "offload:swap_in", cat="offload", tier="nvme",
+                prefetched=False, rank=rank,
+            ):
+                self.store.read(key, dest)
+            self.counters.add_link(rank, dest.nbytes)
+            self.counters.nvme_read_bytes += dest.nbytes
+            return
+        raise KeyError(f"offload engine has no tensor {key!r}")
+
+    @property
+    def can_prefetch(self) -> bool:
+        """Whether async lookahead is possible at all (an NVMe tier exists)."""
+        return self.store is not None
 
     def prefetch(self, key: str, *, rank: int) -> bool:
         """Begin an async NVMe read of ``key``; no-op for resident tiers.

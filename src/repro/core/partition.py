@@ -19,7 +19,7 @@ spread across, which the offload engine's per-link counters capture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -71,11 +71,21 @@ class ParameterPartitioner:
         self.comm = comm or ProcessGroup(world_size)
         self.bandwidth_centric = bandwidth_centric
         self._owner_rr = 0  # round-robin owner assignment for owner layout
+        # reusable allgather output for gather_coalesced, keyed by dtype;
+        # shards are assembled in-place so there is no input staging
+        self._coalesce_out: dict[np.dtype, np.ndarray] = {}
+        # shard keys are rebuilt for every fetch on the hot path; memoise
+        # the f-string formatting per (param, rank, kind)
+        self._key_cache: dict[tuple[int, int, str], str] = {}
 
     # --- keys -------------------------------------------------------------------
-    @staticmethod
-    def _key(param: Parameter, rank: int, kind: str = "param16") -> str:
-        return f"p{param.unique_id}.r{rank}.{kind}"
+    def _key(self, param: Parameter, rank: int, kind: str = "param16") -> str:
+        ident = (param.unique_id, rank, kind)
+        key = self._key_cache.get(ident)
+        if key is None:
+            key = f"p{param.unique_id}.r{rank}.{kind}"
+            self._key_cache[ident] = key
+        return key
 
     def param_shard_key(self, param: Parameter, rank: int) -> str:
         return self._key(param, rank, "param16")
@@ -161,6 +171,107 @@ class ParameterPartitioner:
         param.data = gathered[: meta.full_numel].reshape(meta.full_shape)
         param.state = PartitionState.AVAILABLE
 
+    # --- coalesced gather (module granularity) -----------------------------------
+    def _staging(self, dtype: np.dtype, block: int) -> np.ndarray:
+        """Reusable allgather output buffer for a shard block (grown on
+        demand, never shrunk — no fresh allocation per collective)."""
+        out = self._coalesce_out.get(dtype)
+        if out is None or out.size < block * self.world_size:
+            out = np.empty(block * self.world_size, dtype=dtype)
+            self._coalesce_out[dtype] = out
+        return out
+
+    @staticmethod
+    def _split_layouts(params) -> tuple[list[Parameter], list[Parameter]]:
+        """Partitioned params split into (sharded/allgather, owner/broadcast)."""
+        todo = [
+            p
+            for p in params
+            if p.state is PartitionState.PARTITIONED and p.zero_meta is not None
+        ]
+        sharded = [p for p in todo if p.zero_meta.owner_rank is None]
+        owned = [p for p in todo if p.zero_meta.owner_rank is not None]
+        return sharded, owned
+
+    def gather_coalesced(self, params: Sequence[Parameter]) -> int:
+        """Reconstruct a module's worth of parameters from one allgather.
+
+        The paper's bandwidth-centric retrieval fetches "a layer's worth"
+        of shards per collective (Sec. 5.1/6.1): for each rank the shards
+        of every still-partitioned parameter are concatenated into a
+        reusable staging buffer, a single allgather reconstructs the full
+        concatenation, and every parameter is sliced back out — one
+        collective per (module, dtype) instead of one per parameter, with
+        identical bytes to per-parameter :meth:`gather`.
+
+        Owner-layout (broadcast) parameters fall back to per-parameter
+        gathers.  Returns the number of parameters made AVAILABLE.
+        """
+        sharded, owned = self._split_layouts(params)
+        for p in owned:
+            self.gather(p)
+        gathered = len(owned)
+        by_dtype: dict[np.dtype, list[Parameter]] = {}
+        for p in sharded:
+            by_dtype.setdefault(np.dtype(p.zero_meta.np_dtype), []).append(p)
+        for dtype, group in by_dtype.items():
+            self._gather_group(dtype, group)
+            gathered += len(group)
+        return gathered
+
+    def _gather_group(self, dtype: np.dtype, group: list[Parameter]) -> None:
+        world = self.world_size
+        metas = [p.zero_meta for p in group]
+        block = sum(m.shard_numel for m in metas)
+        out = self._staging(dtype, block)
+        # zero-copy staging: each rank's shards are fetched straight into
+        # their final position in the gather buffer (storage -> out, no
+        # intermediate copy); the in-place allgather then detects the
+        # pre-assembled slices and moves nothing
+        for r in range(world):
+            off = r * block
+            for p, m in zip(group, metas):
+                self.offload.fetch_into(
+                    self._key(p, r, "param16"),
+                    out[off : off + m.shard_numel],
+                    rank=r,
+                )
+                off += m.shard_numel
+        full = self.comm.allgather_into(
+            [out[r * block : (r + 1) * block] for r in range(world)], out
+        )[0]
+        off = 0
+        for p, m in zip(group, metas):
+            sh = m.shard_numel
+            flat = np.empty(m.padded_numel, dtype=dtype)
+            for r in range(world):
+                flat[r * sh : (r + 1) * sh] = full[r * block + off : r * block + off + sh]
+            p.data = flat[: m.full_numel].reshape(m.full_shape)
+            p.state = PartitionState.AVAILABLE
+            off += sh
+
+    def coalesced_fetch_plan(
+        self, params: Sequence[Parameter]
+    ) -> list[tuple[str, int]]:
+        """(key, rank) pairs in the order :meth:`gather_coalesced` fetches.
+
+        The prefetcher issues lookahead reads along this plan so its
+        in-flight fetches line up with the coalesced gather that will
+        consume them.
+        """
+        sharded, owned = self._split_layouts(params)
+        plan: list[tuple[str, int]] = [
+            (self._key(p, p.zero_meta.owner_rank, "param16"), p.zero_meta.owner_rank)
+            for p in owned
+        ]
+        by_dtype: dict[np.dtype, list[Parameter]] = {}
+        for p in sharded:
+            by_dtype.setdefault(np.dtype(p.zero_meta.np_dtype), []).append(p)
+        for group in by_dtype.values():
+            for r in range(self.world_size):
+                plan.extend((self._key(p, r, "param16"), r) for p in group)
+        return plan
+
     def release(self, param: Parameter) -> None:
         """Drop the full tensor after use; shards remain at their home tier.
 
@@ -199,15 +310,13 @@ class ParameterPartitioner:
                 rank=rank,
             )
         else:
-            full = self.offload.fetch(
-                self._key(param, meta.owner_rank, "param16"), rank=meta.owner_rank
-            )
-            lo = rank * meta.shard_numel
-            full[lo : lo + meta.shard_numel] = new_shard
-            self.offload.stash(
+            # write-through: mutate the owner's stored buffer in place
+            # instead of fetching, patching and re-stashing the whole
+            # parameter every optimizer step
+            self.offload.update_slice(
                 self._key(param, meta.owner_rank, "param16"),
-                full,
-                self.offload.config.param_device,
+                rank * meta.shard_numel,
+                new_shard.astype(meta.np_dtype, copy=False),
                 rank=meta.owner_rank,
             )
 

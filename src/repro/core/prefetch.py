@@ -163,7 +163,9 @@ class DynamicPrefetcher:
             self.trace = None
             return
         self._position += 1
-        if self.depth:
+        # lookahead only ever starts NVMe reads; with every tier resident
+        # the plan-building would be pure hot-path overhead, so skip it
+        if self.depth and self.offload.can_prefetch:
             self._issue_lookahead(trace)
 
     def _issue_lookahead(self, trace: OperatorTrace) -> None:
@@ -174,12 +176,18 @@ class DynamicPrefetcher:
         ):
             for i in range(self._position, hi):
                 future = trace.module_at(i)
-                for param in future.direct_parameters():
-                    if param.state is not PartitionState.PARTITIONED:
-                        continue
-                    for key, rank in self.partitioner.prefetch_keys(param):
-                        if self.offload.prefetch(key, rank=rank):
-                            started += 1
+                params = [
+                    p
+                    for p in future.direct_parameters()
+                    if p.state is PartitionState.PARTITIONED
+                ]
+                if not params:
+                    continue
+                # fetch plan matches gather_coalesced's consumption order,
+                # so in-flight reads line up with the coalesced gather
+                for key, rank in self.partitioner.coalesced_fetch_plan(params):
+                    if self.offload.prefetch(key, rank=rank):
+                        started += 1
         if started:
             self.issued += started
             get_registry().counter("prefetch.issued").inc(started)

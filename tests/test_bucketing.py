@@ -1,0 +1,394 @@
+"""Bucketed, zero-copy communication runtime: bit-equivalence and units.
+
+The headline guarantee: routing the ZeRO-3 hot path through the coalesced
+allgather + gradient-bucket runtime changes *how many* collectives run, not
+a single bit of the training numerics.  Bucketed training must produce
+weights and losses **bit-identical** to the per-parameter path (same
+elementwise reduction in the same rank order), and both must match the DDP
+oracle to float tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ddp import DDPTrainer
+from repro.comm import allgather, allgather_into, reduce_scatter, reduce_scatter_into
+from repro.comm.collectives import allreduce
+from repro.comm.group import ProcessGroup
+from repro.core import (
+    GradientBucketStore,
+    OffloadConfig,
+    OffloadDevice,
+    ZeroConfig,
+    ZeroInfinityEngine,
+    ZeroStage,
+)
+from repro.nn import GPTModel, TransformerConfig
+from repro.nn.parameter import Parameter
+from repro.utils.rng import seeded_rng, spawn_rngs
+
+VOCAB = 64
+
+
+def model_factory():
+    cfg = TransformerConfig(
+        num_layers=2, hidden_dim=32, num_heads=4, vocab_size=VOCAB, max_seq=16
+    )
+    return GPTModel(cfg, rng=seeded_rng(7))
+
+
+def make_batches(world, steps, seed=3, bsz=2, seq=8):
+    rng = seeded_rng(seed)
+    return [
+        [
+            (
+                rng.integers(0, VOCAB, size=(bsz, seq)),
+                rng.integers(0, VOCAB, size=(bsz, seq)),
+            )
+            for _ in range(world)
+        ]
+        for _ in range(steps)
+    ]
+
+
+def config(world, stage, *, bucketed, **kw):
+    if not bucketed:
+        kw.setdefault("reduce_bucket_numel", 0)
+        kw.setdefault("coalesce_allgather", False)
+    else:
+        # small capacity so tests exercise mid-step capacity flushes too
+        kw.setdefault("reduce_bucket_numel", 4096)
+    return ZeroConfig(world_size=world, stage=stage, loss_scale=1.0, **kw)
+
+
+def train(cfg, batches, *, rounds_of=None, lr=1e-2):
+    with ZeroInfinityEngine(cfg, model_factory=model_factory, lr=lr) as eng:
+        losses = []
+        for b in batches:
+            if rounds_of:
+                res = eng.train_step_accumulated(
+                    [b] * rounds_of
+                )
+            else:
+                res = eng.train_step(b)
+            losses.append(res.losses)
+        return losses, eng.gather_state(), eng.report()
+
+
+class TestBitEquivalence:
+    """Bucketed + coalesced training is bit-identical to per-parameter."""
+
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "stage", [ZeroStage.GRADIENTS, ZeroStage.PARAMETERS]
+    )
+    def test_weights_and_losses_identical(self, world, stage):
+        batches = make_batches(world, steps=2)
+        ref_losses, ref_state, ref_report = train(
+            config(world, stage, bucketed=False), batches
+        )
+        new_losses, new_state, new_report = train(
+            config(world, stage, bucketed=True), batches
+        )
+        assert new_losses == ref_losses  # float-exact
+        assert set(new_state) == set(ref_state)
+        for name, ref in ref_state.items():
+            np.testing.assert_array_equal(new_state[name], ref, err_msg=name)
+        # and the runtime actually bucketed: far fewer collectives
+        assert (
+            new_report.total_collective_calls
+            < ref_report.total_collective_calls
+        )
+
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_gradient_accumulation_identical(self, world):
+        batches = make_batches(world, steps=2, seed=11)
+        ref_losses, ref_state, _ = train(
+            config(world, ZeroStage.PARAMETERS, bucketed=False),
+            batches,
+            rounds_of=2,
+        )
+        new_losses, new_state, _ = train(
+            config(world, ZeroStage.PARAMETERS, bucketed=True),
+            batches,
+            rounds_of=2,
+        )
+        assert new_losses == ref_losses
+        for name, ref in ref_state.items():
+            np.testing.assert_array_equal(new_state[name], ref, err_msg=name)
+
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_matches_ddp_oracle(self, world):
+        batches = make_batches(world, steps=3, seed=5)
+        ddp = DDPTrainer(model_factory, world, lr=1e-2)
+        ddp_losses = [np.mean(ddp.train_step(b)) for b in batches]
+        losses, state, _ = train(
+            config(world, ZeroStage.PARAMETERS, bucketed=True), batches
+        )
+        for step, l in enumerate(losses):
+            assert np.mean(l) == pytest.approx(ddp_losses[step], rel=1e-5)
+        for name, p in ddp.replicas[0].named_parameters():
+            np.testing.assert_allclose(
+                state[name], p.data, rtol=1e-4, atol=1e-6, err_msg=name
+            )
+
+    def test_nvme_offload_bucketed(self, tmp_path):
+        """Bucketing composes with NVMe gradient offload + async writes."""
+        world = 2
+        batches = make_batches(world, steps=2, seed=9)
+        off = OffloadConfig(
+            param_device=OffloadDevice.NVME,
+            grad_device=OffloadDevice.NVME,
+            optimizer_device=OffloadDevice.NVME,
+            nvme_dir=str(tmp_path / "spool"),
+        )
+        ref = config(world, ZeroStage.PARAMETERS, bucketed=False, offload=off)
+        ref_losses, ref_state, _ = train(ref, batches)
+        off2 = OffloadConfig(
+            param_device=OffloadDevice.NVME,
+            grad_device=OffloadDevice.NVME,
+            optimizer_device=OffloadDevice.NVME,
+            nvme_dir=str(tmp_path / "spool2"),
+        )
+        new = config(world, ZeroStage.PARAMETERS, bucketed=True, offload=off2)
+        new_losses, new_state, _ = train(new, batches)
+        assert new_losses == ref_losses
+        for name, r in ref_state.items():
+            np.testing.assert_array_equal(new_state[name], r, err_msg=name)
+
+
+class TestGradientBucketStore:
+    def _store(self, world=2, capacity=8, op="sum"):
+        emitted = []
+        store = GradientBucketStore(
+            world,
+            capacity,
+            ProcessGroup(world),
+            on_shard=lambda p, r, s: emitted.append((p, r, s.copy())),
+            reduce_op=op,
+        )
+        return store, emitted
+
+    def _param(self, n):
+        return Parameter(np.zeros(n, dtype=np.float32), name=f"p{n}")
+
+    def test_flush_on_capacity(self):
+        store, emitted = self._store(world=2, capacity=8)
+        p1, p2, p3 = self._param(4), self._param(4), self._param(4)
+        store.add(p1, [np.ones(4, np.float32), np.ones(4, np.float32)])
+        store.add(p2, [np.full(4, 2.0, np.float32)] * 2)
+        assert store.stats.flushes == 0  # exactly fits: no flush yet
+        store.add(p3, [np.ones(4, np.float32)] * 2)  # overflow -> flush
+        assert store.stats.flushes == 1
+        assert [e[0] for e in emitted] == [p1, p1, p2, p2]
+        # p1 summed over 2 ranks: shard 0 = first half
+        np.testing.assert_array_equal(emitted[0][2], [2.0, 2.0])
+        store.flush()
+        assert store.stats.flushes == 2
+        assert store.pending_grads == 0
+
+    def test_padding_to_world_multiple(self):
+        store, emitted = self._store(world=2, capacity=8)
+        p = self._param(3)  # pads to 4
+        store.add(p, [np.array([1, 2, 3], np.float32)] * 2)
+        store.flush()
+        (param0, rank0, s0), (param1, rank1, s1) = emitted
+        assert (rank0, rank1) == (0, 1)
+        np.testing.assert_array_equal(s0, [2.0, 4.0])
+        np.testing.assert_array_equal(s1, [6.0, 0.0])  # zero pad tail
+
+    def test_oversized_gradient_gets_own_collective(self):
+        store, emitted = self._store(world=2, capacity=8)
+        p = self._param(20)
+        store.add(p, [np.ones(20, np.float32)] * 2)
+        assert store.stats.oversized_flushes == 1
+        assert store.stats.flushes == 0
+        assert len(emitted) == 2  # one shard per rank
+
+    def test_shards_are_readonly_views(self):
+        world = 2
+        seen = []
+        store = GradientBucketStore(
+            world,
+            8,
+            ProcessGroup(world),
+            on_shard=lambda p, r, s: seen.append(s),
+        )
+        store.add(self._param(4), [np.ones(4, np.float32)] * 2)
+        store.flush()
+        assert all(not s.flags.writeable for s in seen)
+
+    def test_identical_to_per_param_reduce_scatter(self):
+        """Bucket reduction == per-parameter padded reduce-scatter, bitwise."""
+        world = 4
+        rngs = spawn_rngs(0, world)
+        sizes = [5, 16, 3, 8]
+        grads = [
+            [r.standard_normal(n).astype(np.float32) for r in rngs]
+            for n in sizes
+        ]
+        # reference: per-param padded reduce_scatter
+        expect = []
+        for n, per_rank in zip(sizes, grads):
+            padded = ((n + world - 1) // world) * world
+            flats = []
+            for g in per_rank:
+                f = np.zeros(padded, np.float32)
+                f[:n] = g
+                flats.append(f)
+            expect.append(reduce_scatter(flats, op="mean"))
+        got: dict[int, dict[int, np.ndarray]] = {}
+        store = GradientBucketStore(
+            world,
+            12,  # forces multiple flushes
+            ProcessGroup(world),
+            on_shard=lambda p, r, s: got.setdefault(p.unique_id, {}).__setitem__(
+                r, s.copy()
+            ),
+            reduce_op="mean",
+        )
+        params = [self._param(n) for n in sizes]
+        for p, per_rank in zip(params, grads):
+            store.add(p, per_rank)
+        store.flush()
+        for p, exp in zip(params, expect):
+            for r in range(world):
+                np.testing.assert_array_equal(got[p.unique_id][r], exp[r])
+
+    def test_buffers_reused_across_flushes(self):
+        store, _ = self._store(world=2, capacity=8)
+        p = self._param(4)
+        store.add(p, [np.ones(4, np.float32)] * 2)
+        store.flush()
+        before = store.buffer_bytes
+        store.add(p, [np.ones(4, np.float32)] * 2)
+        store.flush()
+        assert store.buffer_bytes == before
+
+
+class TestZeroCopyCollectives:
+    def test_allgather_into_matches_allgather(self):
+        shards = [np.arange(3, dtype=np.float32) + 10 * r for r in range(3)]
+        out = np.empty(9, dtype=np.float32)
+        views = allgather_into(shards, out)
+        np.testing.assert_array_equal(views[0], allgather(shards)[0])
+        # every rank shares the same read-only memory, no copies
+        assert all(v.base is out for v in views)
+        assert all(not v.flags.writeable for v in views)
+
+    def test_allgather_into_reuses_buffer(self):
+        out = np.empty(4, dtype=np.float32)
+        allgather_into([np.ones(2, np.float32)] * 2, out)
+        views = allgather_into([np.full(2, 7.0, np.float32)] * 2, out)
+        np.testing.assert_array_equal(views[0], [7.0] * 4)
+
+    def test_allgather_into_rejects_small_buffer(self):
+        with pytest.raises(ValueError):
+            allgather_into([np.ones(4)] * 2, np.empty(7))
+
+    def test_reduce_scatter_into_matches_reduce_scatter(self):
+        bufs = [np.arange(8, dtype=np.float32) * (r + 1) for r in range(2)]
+        out = np.empty(8, dtype=np.float32)
+        views = reduce_scatter_into(bufs, out, op="mean")
+        ref = reduce_scatter(bufs, op="mean")
+        for v, r in zip(views, ref):
+            np.testing.assert_array_equal(v, r)
+        assert all(v.base is out for v in views)
+        assert all(not v.flags.writeable for v in views)
+
+    def test_reduce_scatter_into_size_checks(self):
+        with pytest.raises(ValueError):
+            reduce_scatter_into([np.ones(5)] * 2, np.empty(5))  # 5 % 2 != 0
+        with pytest.raises(ValueError):
+            reduce_scatter_into([np.ones(4)] * 2, np.empty(3))  # out too small
+
+    def test_process_group_accounts_into_variants(self):
+        pg = ProcessGroup(2)
+        pg.allgather_into([np.ones(2, np.float32)] * 2, np.empty(4, np.float32))
+        pg.reduce_scatter_into(
+            [np.ones(4, np.float32)] * 2, np.empty(4, np.float32)
+        )
+        assert pg.stats.calls_by_op["allgather"] == 1
+        assert pg.stats.calls_by_op["reduce_scatter"] == 1
+        ref = ProcessGroup(2)
+        ref.allgather([np.ones(2, np.float32)] * 2)
+        ref.reduce_scatter([np.ones(4, np.float32)] * 2)
+        assert pg.stats.bytes_by_op == ref.stats.bytes_by_op
+
+
+class TestAllreduceMax:
+    def test_max_result(self):
+        bufs = [
+            np.array([1.0, 5.0, -2.0], np.float32),
+            np.array([4.0, 0.0, -1.0], np.float32),
+        ]
+        out = allreduce(bufs, op="max")
+        for o in out:
+            np.testing.assert_array_equal(o, [4.0, 5.0, -1.0])
+
+
+class TestUpdateSliceWriteThrough:
+    def _engine(self, tmp_path, device):
+        cfg = ZeroConfig(
+            world_size=2,
+            stage=ZeroStage.PARAMETERS,
+            bandwidth_centric=False,  # owner layout: the slice-update path
+            offload=OffloadConfig(
+                param_device=device, nvme_dir=str(tmp_path / "spool")
+            ),
+            loss_scale=1.0,
+        )
+        return ZeroInfinityEngine(cfg, model_factory=model_factory, lr=1e-2)
+
+    @pytest.mark.parametrize(
+        "device", [OffloadDevice.NONE, OffloadDevice.CPU, OffloadDevice.NVME]
+    )
+    def test_update_shard_round_trip(self, tmp_path, device):
+        with self._engine(tmp_path, device) as eng:
+            p = next(
+                q for q in eng.model.parameters() if q.zero_meta is not None
+            )
+            sn = p.zero_meta.shard_numel
+            new = np.arange(sn, dtype=np.float32)
+            eng.partitioner.update_shard(p, 1, new)
+            np.testing.assert_array_equal(
+                eng.partitioner.get_shard(p, 1), new
+            )
+            # neighbouring shard untouched
+            other = eng.partitioner.get_shard(p, 0)
+            assert other.size == sn
+
+    def test_cpu_link_traffic_is_slice_sized(self, tmp_path):
+        with self._engine(tmp_path, OffloadDevice.CPU) as eng:
+            p = next(
+                q for q in eng.model.parameters() if q.zero_meta is not None
+            )
+            meta = p.zero_meta
+            owner = meta.owner_rank
+            before = eng.offload.counters.cpu_write_bytes
+            eng.partitioner.update_shard(
+                p, 1, np.zeros(meta.shard_numel, np.float32)
+            )
+            written = eng.offload.counters.cpu_write_bytes - before
+            # write-through moves one shard, not the whole padded buffer
+            assert written == meta.shard_numel * 4
+            assert written < meta.padded_numel * 4
+            assert owner is not None
+
+    def test_training_still_equivalent(self):
+        """Owner-layout training with write-through matches DDP."""
+        world = 2
+        batches = make_batches(world, steps=2, seed=21)
+        ddp = DDPTrainer(model_factory, world, lr=1e-2)
+        ddp_losses = [np.mean(ddp.train_step(b)) for b in batches]
+        cfg = ZeroConfig(
+            world_size=world,
+            stage=ZeroStage.PARAMETERS,
+            bandwidth_centric=False,
+            loss_scale=1.0,
+        )
+        with ZeroInfinityEngine(cfg, model_factory=model_factory, lr=1e-2) as eng:
+            for step, b in enumerate(batches):
+                assert eng.train_step(b).mean_loss == pytest.approx(
+                    ddp_losses[step], rel=1e-5
+                )

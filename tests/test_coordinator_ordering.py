@@ -91,6 +91,10 @@ def engine():
         offload=OffloadConfig(param_device=OffloadDevice.CPU),
         loss_scale=1.0,
         prefetch_depth=0,  # keep the event stream deterministic
+        # this suite asserts the *per-parameter* protocol; the coalesced /
+        # bucketed runtime is covered by test_bucketing.py
+        coalesce_allgather=False,
+        reduce_bucket_numel=0,
     )
     with ZeroInfinityEngine(cfg, model_factory=factory, lr=1e-3) as eng:
         yield eng
@@ -129,6 +133,8 @@ class TestProtocol:
             stage=ZeroStage.PARAMETERS,
             loss_scale=1.0,
             prefetch_depth=0,
+            coalesce_allgather=False,
+            reduce_bucket_numel=0,
         )
         with ZeroInfinityEngine(
             cfg, model_factory=lambda: factory(ckpt=True), lr=1e-3
