@@ -1,0 +1,36 @@
+"""Checker overhead contract: the disabled fast path costs < 2% of a step.
+
+The checking subsystem (:mod:`repro.check`) leaves its event sites compiled
+into the hot paths — partitioner lifecycle transitions, every collective,
+every aio submit/wait, pinned-buffer returns.  The deal that makes that
+acceptable is the same one the tracer struck (``bench_obs_overhead.py``):
+when no checker is installed, each site pays one attribute load plus an
+``is None`` test and nothing else.  This bench measures that gate, counts
+the events a real sanitized step dispatches, and *asserts* the contract
+(see :mod:`repro.check.overhead` for the measurement model).
+
+``tests/test_check.py`` proves sanitized runs are clean; this bench proves
+unsanitized runs are free.
+"""
+
+from repro.check.overhead import measure_check_overhead
+
+DISABLED_BUDGET = 0.02  # compiled-in event sites must be invisible
+ENABLED_BUDGET = 0.50  # a fully sanitized step may tax this much
+ATTEMPTS = 3  # timing on loaded CI boxes flakes; a regression fails all
+
+
+def test_check_overhead_contract(emit, benchmark):
+    report = benchmark.pedantic(measure_check_overhead, rounds=1, iterations=1)
+    for _ in range(ATTEMPTS - 1):
+        if (
+            report.disabled_overhead < DISABLED_BUDGET
+            and report.enabled_overhead < ENABLED_BUDGET
+        ):
+            break
+        report = measure_check_overhead()
+    emit("check_overhead", report.render())
+    assert report.events_per_step > 100, report.render()  # really sanitized
+    assert report.violations == 0, report.render()  # and really clean
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()

@@ -1,0 +1,56 @@
+"""repro.check: runtime sanitizers and static lint for ZeRO invariants.
+
+Four cooperating passes over one violation taxonomy
+(:class:`~repro.check.violations.CheckViolation`):
+
+* :mod:`repro.check.zerosan` — parameter-lifecycle state machine and
+  shared-buffer write sanitizer (use-after-release, double-gather,
+  gather-leak, shared-view-write);
+* :mod:`repro.check.collectives` — per-rank collective fingerprinting,
+  cross-checked at barriers (would-be deadlocks as first-divergence
+  reports);
+* :mod:`repro.check.races` — happens-before race detector for the
+  threaded aio engine and the pinned-buffer pool;
+* :mod:`repro.check.lint` — AST lint enforcing repo invariants statically
+  (no raw collectives, no wall-clock/global-RNG numerics, no silent
+  float64 upcasts, no writeable-flag flips).
+
+Enable via ``ZeroConfig(check=CheckConfig(...))``, ``--check`` on the CLI,
+``REPRO_CHECK=all`` in the environment, or :func:`use_checker` in tests.
+Everything is off by default and the disabled fast path is one global load
+plus an ``is None`` test per event site (see :mod:`repro.check.overhead`).
+"""
+
+from repro.check.collectives import CollectiveFingerprint, CollectiveOrderChecker
+from repro.check.config import PASS_NAMES, CheckConfig
+from repro.check.lint import LintFinding, LintReport, lint_source, run_lint
+from repro.check.races import AioRaceDetector
+from repro.check.runtime import (
+    CheckContext,
+    context_from_config,
+    get_checker,
+    install_checker,
+    use_checker,
+)
+from repro.check.violations import VIOLATION_KINDS, CheckViolation
+from repro.check.zerosan import ZeroSan
+
+__all__ = [
+    "AioRaceDetector",
+    "CheckConfig",
+    "CheckContext",
+    "CheckViolation",
+    "CollectiveFingerprint",
+    "CollectiveOrderChecker",
+    "LintFinding",
+    "LintReport",
+    "PASS_NAMES",
+    "VIOLATION_KINDS",
+    "ZeroSan",
+    "context_from_config",
+    "get_checker",
+    "install_checker",
+    "lint_source",
+    "run_lint",
+    "use_checker",
+]

@@ -1,0 +1,157 @@
+"""Collective-ordering checker: per-rank fingerprints, cross-checked.
+
+Real ZeRO deployments hang (NCCL) or silently corrupt (MPI) when ranks
+disagree on the collective sequence — a conditional gather on one rank, a
+mismatched bucket boundary, an extra barrier.  The simulation executes
+collectives functionally, so a real deadlock cannot manifest; this checker
+makes the *would-be* deadlock observable instead:
+
+* every collective issued through a :class:`~repro.comm.group.ProcessGroup`
+  appends a fingerprint ``(op, dtype, numel, world)`` to each participating
+  rank's sequence;
+* within one call, ranks must agree on payload shape/dtype
+  (``collective-shape-mismatch`` — e.g. an allgather where rank 1 brings a
+  differently sized shard);
+* at synchronization points (``barrier()``, engine step boundaries) the
+  per-rank sequences are cross-checked and the **first divergence** is
+  reported as ``collective-divergence`` — the exact information needed to
+  debug the hang it would have been.
+
+Sequences are kept per group (a process may hold several groups) and the
+verified prefix is truncated at every successful cross-check, so memory
+stays bounded by the collectives issued between barriers.
+
+The in-process simulation records all ranks of one call together, so
+sequences only diverge through :meth:`record_rank` — the per-rank API used
+by tests and the bug corpus to model independently-programmed ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class CollectiveFingerprint:
+    """Identity of one collective as one rank observed it."""
+
+    op: str
+    dtype: str
+    numel: int
+    world: int
+
+    def describe(self) -> str:
+        return f"{self.op}[{self.dtype} x{self.numel}, world={self.world}]"
+
+
+class CollectiveOrderChecker:
+    """Fingerprints collectives per simulated rank; owned by a context."""
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._groups: dict[int, list[list[CollectiveFingerprint]]] = {}
+        self._next_group = 0
+
+    # --- group registry ---------------------------------------------------------
+    def register_group(self, world_size: int) -> int:
+        gid = self._next_group
+        self._next_group += 1
+        self._groups[gid] = [[] for _ in range(world_size)]
+        return gid
+
+    # --- recording -------------------------------------------------------------
+    def record(
+        self,
+        group_id: int,
+        op: str,
+        dtypes: Sequence[str],
+        numels: Sequence[int],
+    ) -> None:
+        """One collective, all ranks at once (the simulation's hot path).
+
+        ``dtypes``/``numels`` are per-rank payload descriptions; a
+        disagreement is reported before the sequences are appended, because
+        the real collective would already be undefined behaviour.
+        """
+        seqs = self._groups[group_id]
+        world = len(seqs)
+        if len(set(numels)) > 1 or len(set(dtypes)) > 1:
+            per_rank = ", ".join(
+                f"rank{r}={d} x{n}" for r, (d, n) in enumerate(zip(dtypes, numels))
+            )
+            self._ctx.report(
+                "collective-shape-mismatch",
+                f"{op} called with per-rank payloads that disagree"
+                f" ({per_rank}); every rank must contribute the same"
+                f" count and dtype",
+                op=op,
+                payloads=list(zip(dtypes, numels)),
+            )
+        for r in range(world):
+            seqs[r].append(
+                CollectiveFingerprint(op, str(dtypes[r]), int(numels[r]), world)
+            )
+
+    def record_rank(
+        self, group_id: int, rank: int, op: str, dtype: str, numel: int
+    ) -> None:
+        """One rank's view of a collective (divergence modelling / corpus)."""
+        seqs = self._groups[group_id]
+        seqs[rank].append(
+            CollectiveFingerprint(op, str(dtype), int(numel), len(seqs))
+        )
+
+    # --- cross-check ----------------------------------------------------------
+    def cross_check(self, group_id: int | None = None) -> None:
+        """Compare per-rank sequences; report the first divergence.
+
+        Called at barriers and step boundaries.  On success the verified
+        sequences are dropped (they can no longer diverge retroactively).
+        """
+        gids = list(self._groups) if group_id is None else [group_id]
+        for gid in gids:
+            seqs = self._groups[gid]
+            reference = seqs[0]
+            for rank in range(1, len(seqs)):
+                mine = seqs[rank]
+                for i, (a, b) in enumerate(zip(reference, mine)):
+                    if a != b:
+                        self._ctx.report(
+                            "collective-divergence",
+                            f"rank {rank} diverged from rank 0 at collective"
+                            f" #{i}: expected {a.describe()}, issued"
+                            f" {b.describe()} — ranks would deadlock here",
+                            rank=rank,
+                            index=i,
+                            expected=a.describe(),
+                            got=b.describe(),
+                        )
+                        break
+                else:
+                    if len(mine) != len(reference):
+                        short, long_ = sorted([len(mine), len(reference)])
+                        self._ctx.report(
+                            "collective-divergence",
+                            f"rank {rank} issued {len(mine)} collectives but"
+                            f" rank 0 issued {len(reference)}: the rank with"
+                            f" {long_} waits forever at collective #{short}",
+                            rank=rank,
+                            index=short,
+                        )
+            for s in seqs:
+                s.clear()
+
+    def discard_pending(self) -> None:
+        """Drop unverified sequences without cross-checking them.
+
+        Used on step abort: an exception mid-step leaves legitimately
+        ragged sequences, and the aborted step makes no ordering claim.
+        """
+        for seqs in self._groups.values():
+            for s in seqs:
+                s.clear()
+
+    def pending(self, group_id: int) -> int:
+        """Unverified collectives on rank 0 (introspection for tests)."""
+        return len(self._groups[group_id][0])

@@ -1,0 +1,472 @@
+"""AST lint pass enforcing repo invariants over ``src/``.
+
+The static quarter of the checking subsystem (run via ``tools/lint_repro.py``
+or ``tests/test_lint.py``).  Four rules, each guarding an invariant the
+runtime passes rely on:
+
+``raw-collectives``
+    Collectives must go through :class:`repro.comm.group.ProcessGroup` —
+    the layer that accounts bytes and fingerprints sequences for the
+    ordering checker.  Importing ``repro.comm.collectives`` (or the
+    functional collective names) outside ``repro/comm/`` bypasses both.
+
+``wallclock``
+    No ``time.time()`` / ``time.time_ns()`` in numerics packages
+    (``nn``, ``core``, ``comm``, ``optim``, ``tensor``): wall-clock reads
+    make numerics nondeterministic and replay-hostile.  Telemetry uses
+    ``perf_counter_ns`` through ``repro.obs``, which is exempt.
+
+``rng``
+    No implicit global RNG in numerics packages: ``np.random.<fn>()`` and
+    ``random.<fn>()`` draw from hidden mutable state, breaking the
+    seeded-``Generator``-passed-explicitly convention (``default_rng``,
+    ``Generator`` and ``SeedSequence`` construction stay allowed).
+
+``float64-upcast``
+    Hot-path modules (gather/reduce/offload/optimizer) must not silently
+    upcast to float64 — ``np.float64`` / ``np.double`` references,
+    ``astype(float)`` and ``dtype=float`` double every byte moved and mask
+    fp16/fp32 mixed-precision bugs.
+
+``writeable-flip``
+    Outside ``repro/comm`` (which owns the shared-buffer protocol) and the
+    checker itself, nothing may set ``.flags.writeable = True`` — that is
+    the escape hatch that lets callers mutate the base of a read-only
+    zero-copy view.
+
+A finding can be suppressed with a same-line ``# lint: allow-<rule>``
+comment; pre-existing debt is pinned in ``tools/lint_baseline.json`` so
+only *new* violations fail CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+RULES: tuple[str, ...] = (
+    "raw-collectives",
+    "wallclock",
+    "rng",
+    "float64-upcast",
+    "writeable-flip",
+)
+
+#: Packages whose numerics must be deterministic and clock-free.
+NUMERICS_PACKAGES: tuple[str, ...] = (
+    "repro/nn/",
+    "repro/core/",
+    "repro/comm/",
+    "repro/optim/",
+    "repro/tensor/",
+)
+
+#: Hot-path modules where a silent float64 upcast doubles moved bytes.
+HOT_PATH_MODULES: frozenset[str] = frozenset(
+    {
+        "repro/core/bucket.py",
+        "repro/core/coordinator.py",
+        "repro/core/offload.py",
+        "repro/core/partition.py",
+        "repro/core/prefetch.py",
+        "repro/comm/collectives.py",
+        "repro/comm/group.py",
+        "repro/optim/adam.py",
+        "repro/tensor/flat.py",
+        "repro/nvme/aio.py",
+        "repro/nvme/buffers.py",
+        "repro/nvme/store.py",
+    }
+)
+
+#: Functional collective names whose direct import bypasses ProcessGroup.
+FUNCTIONAL_COLLECTIVES: frozenset[str] = frozenset(
+    {
+        "broadcast",
+        "allgather",
+        "allgather_into",
+        "reduce_scatter",
+        "reduce_scatter_into",
+        "allreduce",
+        "gather",
+        "scatter",
+        "alltoall",
+    }
+)
+
+#: Explicitly-seeded RNG constructors that remain allowed everywhere.
+RNG_CONSTRUCTORS: frozenset[str] = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str  # repo-src-relative, e.g. "repro/core/bucket.py"
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str) -> None:
+        self.rel = rel_path.replace(os.sep, "/")
+        self.findings: list[LintFinding] = []
+        self.in_comm = self.rel.startswith("repro/comm/")
+        self.in_check = self.rel.startswith("repro/check/")
+        self.numerics = any(self.rel.startswith(p) for p in NUMERICS_PACKAGES)
+        self.hot = self.rel in HOT_PATH_MODULES
+        self._random_aliases: set[str] = set()  # names bound to stdlib random
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.rel, getattr(node, "lineno", 0), rule, message)
+        )
+
+    # --- imports (raw-collectives + random tracking) -------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._random_aliases.add(alias.asname or "random")
+            if (
+                not self.in_comm
+                and alias.name.startswith("repro.comm.collectives")
+            ):
+                self._flag(
+                    node,
+                    "raw-collectives",
+                    "import of repro.comm.collectives outside repro.comm;"
+                    " use a ProcessGroup (accounted + fingerprinted)",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if not self.in_comm:
+            if mod == "repro.comm.collectives":
+                self._flag(
+                    node,
+                    "raw-collectives",
+                    "import from repro.comm.collectives outside repro.comm;"
+                    " use a ProcessGroup (accounted + fingerprinted)",
+                )
+            elif mod == "repro.comm":
+                for alias in node.names:
+                    if alias.name == "collectives":
+                        self._flag(
+                            node,
+                            "raw-collectives",
+                            "import of the functional collectives module"
+                            " outside repro.comm; use a ProcessGroup",
+                        )
+                    elif alias.name in FUNCTIONAL_COLLECTIVES:
+                        self._flag(
+                            node,
+                            "raw-collectives",
+                            f"direct import of functional collective"
+                            f" {alias.name!r} outside repro.comm; call it"
+                            f" through a ProcessGroup",
+                        )
+        self.generic_visit(node)
+
+    # --- calls (wallclock, rng, float64 astype) ---------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if self.numerics and chain in (["time", "time"], ["time", "time_ns"]):
+            self._flag(
+                node,
+                "wallclock",
+                f"{'.'.join(chain)}() in a numerics path; timing belongs in"
+                f" repro.obs (perf_counter), numerics must be replayable",
+            )
+        if self.numerics and len(chain) >= 2:
+            if (
+                chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and (len(chain) == 2 or chain[-1] not in RNG_CONSTRUCTORS)
+            ):
+                self._flag(
+                    node,
+                    "rng",
+                    "implicit global numpy RNG in a numerics path; thread a"
+                    " seeded np.random.Generator through instead",
+                )
+            elif (
+                chain[0] in self._random_aliases
+                and chain[-1] not in RNG_CONSTRUCTORS
+            ):
+                self._flag(
+                    node,
+                    "rng",
+                    "stdlib random.* in a numerics path; thread a seeded"
+                    " np.random.Generator through instead",
+                )
+        if (
+            self.hot
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+        ):
+            arg = node.args[0]
+            arg_chain = _attr_chain(arg)
+            if arg_chain in (
+                ["float"],
+                ["np", "float64"],
+                ["numpy", "float64"],
+                ["np", "double"],
+                ["numpy", "double"],
+            ):
+                self._flag(
+                    node,
+                    "float64-upcast",
+                    "astype to float64 in a hot-path module doubles every"
+                    " byte moved; accumulate in float32",
+                )
+        self.generic_visit(node)
+
+    # --- attributes (np.float64 references in hot modules) -----------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.hot:
+            chain = _attr_chain(node)
+            if chain in (
+                ["np", "float64"],
+                ["numpy", "float64"],
+                ["np", "double"],
+                ["numpy", "double"],
+            ):
+                self._flag(
+                    node,
+                    "float64-upcast",
+                    "float64 dtype in a hot-path module; the offload/comm"
+                    " hot path is fp16/fp32 only",
+                )
+                return  # do not double-count the inner chain
+        self.generic_visit(node)
+
+    # --- dtype=float keywords in hot modules ------------------------------------
+    def visit_keyword(self, node: ast.keyword) -> None:  # type: ignore[override]
+        if (
+            self.hot
+            and node.arg == "dtype"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "float"
+        ):
+            self._flag(
+                node.value,
+                "float64-upcast",
+                "dtype=float is float64; hot-path buffers are fp16/fp32",
+            )
+        self.generic_visit(node)
+
+    # --- assignments (writeable flips) -----------------------------------------
+    def _check_writeable_target(self, target: ast.AST, node: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "writeable"
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "flags"
+        ):
+            self._flag(
+                node,
+                "writeable-flip",
+                "re-enabling .flags.writeable defeats read-only zero-copy"
+                " views; only repro.comm owns that protocol",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if (
+            not self.in_comm
+            and not self.in_check
+            and isinstance(node.value, ast.Constant)
+            and node.value.value is True
+        ):
+            for target in node.targets:
+                self._check_writeable_target(target, node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str) -> list[LintFinding]:
+    """Lint one module's source text (unit of both the CLI and the tests)."""
+    tree = ast.parse(source, filename=rel_path)
+    visitor = _Visitor(rel_path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for f in visitor.findings:
+        line_text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        if f"# lint: allow-{f.rule}" in line_text:
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def default_src_root() -> str:
+    """The ``src/`` directory this installation of ``repro`` lives in."""
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+
+
+def default_baseline_path() -> str:
+    return os.path.join(
+        os.path.dirname(default_src_root()), "tools", "lint_baseline.json"
+    )
+
+
+def collect(src_root: Optional[str] = None) -> list[LintFinding]:
+    """Lint every ``repro`` module under ``src_root``."""
+    root = src_root or default_src_root()
+    findings: list[LintFinding] = []
+    pkg_root = os.path.join(root, "repro")
+    for dirpath, dirnames, filenames in os.walk(pkg_root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as fh:
+                findings.extend(lint_source(fh.read(), rel))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# --- baseline -------------------------------------------------------------------
+def load_baseline(path: Optional[str] = None) -> dict[str, dict[str, int]]:
+    """``{rel_path: {rule: allowed_count}}`` — pre-existing pinned debt."""
+    baseline_path = path or default_baseline_path()
+    if not os.path.exists(baseline_path):
+        return {}
+    with open(baseline_path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {k: dict(v) for k, v in data.get("allow", {}).items()}
+
+
+def write_baseline(
+    findings: Sequence[LintFinding], path: Optional[str] = None
+) -> str:
+    """Pin the current findings as the allowed baseline."""
+    allow: dict[str, dict[str, int]] = {}
+    for f in findings:
+        allow.setdefault(f.path, {})
+        allow[f.path][f.rule] = allow[f.path].get(f.rule, 0) + 1
+    baseline_path = path or default_baseline_path()
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "allow": allow}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return baseline_path
+
+
+def apply_baseline(
+    findings: Sequence[LintFinding], baseline: dict[str, dict[str, int]]
+) -> list[LintFinding]:
+    """Findings beyond the pinned allowance (earliest lines absorbed first)."""
+    budget = {
+        (path, rule): count
+        for path, rules in baseline.items()
+        for rule, count in rules.items()
+    }
+    new: list[LintFinding] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        key = (f.path, f.rule)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            continue
+        new.append(f)
+    return new
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of a full lint run."""
+
+    all_findings: tuple[LintFinding, ...]
+    new_findings: tuple[LintFinding, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+
+def run_lint(
+    src_root: Optional[str] = None, baseline_path: Optional[str] = None
+) -> LintReport:
+    """Lint ``src_root`` and subtract the pinned baseline."""
+    findings = collect(src_root)
+    baseline = load_baseline(baseline_path)
+    return LintReport(
+        all_findings=tuple(findings),
+        new_findings=tuple(apply_baseline(findings, baseline)),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (see ``tools/lint_repro.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="AST lint for repro invariants (repro.check.lint)",
+    )
+    parser.add_argument(
+        "--root", default=None, help="src directory (default: auto-detect)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON (default: tools/lint_baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="pin the current findings as the new baseline",
+    )
+    parser.add_argument(
+        "--show-all",
+        action="store_true",
+        help="also print baseline-absorbed findings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        findings = collect(args.root)
+        path = write_baseline(findings, args.baseline)
+        print(f"pinned {len(findings)} finding(s) to {path}")
+        return 0
+
+    report = run_lint(args.root, args.baseline)
+    shown = report.all_findings if args.show_all else report.new_findings
+    for f in shown:
+        print(f.format())
+    absorbed = len(report.all_findings) - len(report.new_findings)
+    print(
+        f"{len(report.new_findings)} new finding(s),"
+        f" {absorbed} absorbed by baseline"
+    )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/
+    raise SystemExit(main())

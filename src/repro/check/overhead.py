@@ -1,0 +1,192 @@
+"""Checker overhead measurement (the <2%-disabled contract).
+
+Same measurement model as ``repro.obs.overhead``: the disabled fast path is
+an attribute load plus an ``is None`` test at each event site, too cheap to
+resolve by diffing whole steps, so it is modeled as *per-call cost x calls
+per step*: microbenchmark the gate, count how many checker events one
+sanitized step actually dispatches, and express their product as a fraction
+of the measured step time.  The enabled cost is measured directly, with the
+two configurations interleaved so machine drift hits both equally.
+``benchmarks/bench_check_overhead.py`` turns :attr:`disabled_overhead` into
+the CI guard.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+
+from repro.check.config import CheckConfig
+from repro.check.runtime import CheckContext, get_checker
+
+
+@dataclass
+class CheckOverheadReport:
+    """What the checker costs on one engine step."""
+
+    step_disabled_s: float  # min step time, all checks off
+    step_enabled_s: float  # min step time, runtime checks on
+    events_per_step: int  # checker events one sanitized step dispatches
+    noop_gate_s: float  # per-call cost of the disabled gate
+    violations: int  # violations the sanitized steps recorded (want 0)
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Modeled disabled-gate overhead fraction of the step time."""
+        return self.events_per_step * self.noop_gate_s / self.step_disabled_s
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Measured overhead fraction with every runtime pass enabled."""
+        return self.step_enabled_s / self.step_disabled_s - 1.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"step (checks off):   {self.step_disabled_s * 1e3:8.2f} ms",
+                f"step (checks on):    {self.step_enabled_s * 1e3:8.2f} ms",
+                f"events per step:     {self.events_per_step:8d}",
+                f"disabled gate call:  {self.noop_gate_s * 1e9:8.1f} ns",
+                f"disabled overhead:   {self.disabled_overhead:8.3%}",
+                f"enabled overhead:    {self.enabled_overhead:8.3%}",
+                f"violations recorded: {self.violations:8d}",
+            ]
+        )
+
+
+class _CountingPass:
+    """Wraps one pass object; counts every event method dispatched to it."""
+
+    def __init__(self, target, counter: list) -> None:
+        self._target = target
+        self._counter = counter
+
+    def __getattr__(self, name):
+        attr = getattr(self._target, name)
+        if not callable(attr):
+            return attr
+        counter = self._counter
+
+        def counted(*args, **kwargs):
+            counter[0] += 1
+            return attr(*args, **kwargs)
+
+        return counted
+
+
+def _count_events_one_step(ctx: CheckContext, step) -> int:
+    """Proxy the context's pass objects for one step; count dispatches.
+
+    Instrumented code reads ``ctx.zerosan`` / ``ctx.collectives`` /
+    ``ctx.races`` at every event site, so swapping those attributes for
+    counting proxies observes exactly the events a disabled build would
+    gate on.
+    """
+    counter = [0]
+    saved = (ctx.zerosan, ctx.collectives, ctx.races)
+    ctx.zerosan = _CountingPass(saved[0], counter) if saved[0] else None
+    ctx.collectives = _CountingPass(saved[1], counter) if saved[1] else None
+    ctx.races = _CountingPass(saved[2], counter) if saved[2] else None
+    try:
+        step()
+    finally:
+        ctx.zerosan, ctx.collectives, ctx.races = saved
+    return max(counter[0], 1)
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _gate_cost(calls: int) -> float:
+    """Seconds per disabled-checker gate: global load + ``is None`` test."""
+    t0 = time.perf_counter()
+    hits = 0
+    for _ in range(calls):
+        if get_checker() is not None:  # the shape instrumented code uses
+            hits += 1
+    elapsed = time.perf_counter() - t0
+    assert hits in (0, calls)  # keep the loop body live
+    return elapsed / calls
+
+
+def measure_check_overhead(
+    *,
+    reps: int = 7,
+    hidden_dim: int = 160,
+    num_layers: int = 2,
+    world_size: int = 2,
+    micro_calls: int = 200_000,
+) -> CheckOverheadReport:
+    """Run a small CPU-offloaded engine step with checks off and on."""
+    # Local imports: keep ``import repro.check`` free of the engine stack.
+    from dataclasses import replace
+
+    from repro.core.config import OffloadConfig, OffloadDevice, ZeroConfig
+    from repro.core.engine import ZeroInfinityEngine
+    from repro.nn import GPTModel, TransformerConfig
+    from repro.utils.rng import seeded_rng
+
+    model_cfg = TransformerConfig(
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        num_heads=4,
+        vocab_size=128,
+        max_seq=32,
+    )
+    # CPU offload: exercises gather/release/reduce without file-I/O noise.
+    base_cfg = ZeroConfig(
+        world_size=world_size,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.CPU,
+            grad_device=OffloadDevice.CPU,
+            optimizer_device=OffloadDevice.CPU,
+        ),
+        loss_scale=1.0,
+    )
+    checked = CheckConfig(zerosan=True, collectives=True, races=True, mode="record")
+    rng = seeded_rng(3)
+    batches = [
+        (rng.integers(0, 128, (2, 32)), rng.integers(0, 128, (2, 32)))
+        for _ in range(world_size)
+    ]
+
+    def make_engine(check_cfg):
+        return ZeroInfinityEngine(
+            replace(base_cfg, check=check_cfg),
+            model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
+        )
+
+    gc_was_enabled = gc.isenabled()
+    disabled_s = enabled_s = float("inf")
+    with make_engine(CheckConfig()) as plain, make_engine(checked) as sane:
+        step_plain = lambda: plain.train_step(batches)  # noqa: E731
+        step_sane = lambda: sane.train_step(batches)  # noqa: E731
+        step_plain()  # warm-up: caches primed, buffers allocated
+        step_sane()
+        ctx = sane.check_context
+        events_per_step = _count_events_one_step(ctx, step_sane)
+        # GC disabled while timing (as timeit does) so collection pauses
+        # landing in random reps do not swamp the signal.
+        gc.disable()
+        try:
+            for _ in range(reps):
+                gc.collect()
+                disabled_s = min(disabled_s, _timed(step_plain))
+                gc.collect()
+                enabled_s = min(enabled_s, _timed(step_sane))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        violations = len(ctx.violations)
+
+    return CheckOverheadReport(
+        step_disabled_s=disabled_s,
+        step_enabled_s=enabled_s,
+        events_per_step=events_per_step,
+        noop_gate_s=_gate_cost(micro_calls),
+        violations=violations,
+    )

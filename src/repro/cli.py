@@ -212,12 +212,19 @@ def _cmd_train_demo(args) -> int:
         activation_checkpointing=True,
     )
     dev = OffloadDevice(args.offload)
+    check_cfg = None
+    if args.check:
+        from repro.check import CheckConfig
+
+        # record mode: collect violations and summarize after the run
+        check_cfg = CheckConfig.from_spec(args.check, mode="record")
     zero_cfg = ZeroConfig(
         world_size=args.world,
         offload=OffloadConfig(
             param_device=dev, grad_device=dev, optimizer_device=dev
         ),
         loss_scale=1.0,
+        **({"check": check_cfg} if check_cfg is not None else {}),
     )
     with trace_ctx as tracer, ZeroInfinityEngine(
         zero_cfg,
@@ -253,6 +260,21 @@ def _cmd_train_demo(args) -> int:
             n = write_chrome_trace(args.trace, tracer, get_registry())
             print("\n" + telemetry_summary(tracer, get_registry()))
             print(f"\nwrote {n} spans to {args.trace} (open in Perfetto)")
+        if engine.check_context is not None:
+            print(engine.check_context.summary())
+    if check_cfg is not None and check_cfg.lint:
+        from repro.check.lint import run_lint
+
+        report = run_lint()
+        print(
+            f"lint: {len(report.new_findings)} new finding(s),"
+            f" {len(report.all_findings) - len(report.new_findings)}"
+            f" absorbed by baseline"
+        )
+        for f in report.new_findings:
+            print("  " + f.format())
+        if not report.clean:
+            return 1
     return 0
 
 
@@ -429,6 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument(
         "--trace", type=str, default=None, metavar="PATH",
         help="record spans and write a Chrome trace JSON of the run",
+    )
+    s.add_argument(
+        "--check", type=str, default=None, metavar="SPEC",
+        help="run checker passes: 'all' or a comma list of"
+        " zerosan,collectives,races,lint (violations are recorded and"
+        " summarized after the run)",
     )
     s.set_defaults(fn=_cmd_train_demo)
     return p

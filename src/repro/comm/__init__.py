@@ -17,6 +17,7 @@ from repro.comm.collectives import (
     alltoall,
     broadcast,
     gather,
+    readonly_slice,
     reduce_scatter,
     reduce_scatter_into,
     scatter,
@@ -37,6 +38,7 @@ __all__ = [
     "alltoall",
     "broadcast",
     "gather",
+    "readonly_slice",
     "reduce_scatter",
     "reduce_scatter_into",
     "scatter",

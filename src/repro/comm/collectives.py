@@ -53,11 +53,27 @@ def allgather(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
         return [full.copy() for _ in range(world)]
 
 
-def _readonly_view(array: np.ndarray) -> np.ndarray:
-    """A non-writeable view of ``array`` (shared result, no per-rank copy)."""
-    view = array.view()
-    view.flags.writeable = False
-    return view
+def readonly_slice(owner: np.ndarray, start: int, count: int) -> np.ndarray:
+    """A zero-copy read-only view of ``owner[start:start+count]``.
+
+    A plain ``view.flags.writeable = False`` is not enough: numpy collapses
+    view chains, so ``view[lo:hi].base`` is the original *writable* owner
+    and ``shard.base[...] = x`` silently mutates shared memory.  Building
+    the view over a read-only ``memoryview`` instead makes the whole base
+    chain immutable — writes through ``.base`` raise ``TypeError`` and
+    ``flags.writeable = True`` is refused by numpy — while the view still
+    aliases ``owner`` (``np.shares_memory`` holds and owner updates remain
+    visible), which is exactly the symmetric-memory discipline a zero-copy
+    collective imposes.
+    """
+    if not owner.flags.c_contiguous:
+        raise ValueError("readonly_slice requires a C-contiguous owner buffer")
+    return np.frombuffer(
+        memoryview(owner).toreadonly(),
+        dtype=owner.dtype,
+        count=count,
+        offset=start * owner.itemsize,
+    )
 
 
 def allgather_into(
@@ -76,10 +92,10 @@ def allgather_into(
     world = _check_world(shards)
     flats = [np.asarray(s).reshape(-1) for s in shards]
     total = sum(f.size for f in flats)
-    if out.ndim != 1 or out.size < total:
+    if out.ndim != 1 or out.size < total or not out.flags.c_contiguous:
         raise ValueError(
-            f"allgather_into needs a flat out buffer of >= {total} elements,"
-            f" got shape {out.shape}"
+            f"allgather_into needs a flat contiguous out buffer of >="
+            f" {total} elements, got shape {out.shape}"
         )
     payload = sum(int(f.nbytes) for f in flats)
     with trace_span("comm:allgather", cat="comm", world=world, bytes=payload):
@@ -97,7 +113,7 @@ def allgather_into(
             ):
                 out[offset : offset + f.size] = f
             offset += f.size
-        view = _readonly_view(out[:total])
+        view = readonly_slice(out, 0, total)
         return [view for _ in range(world)]
 
 
@@ -126,10 +142,10 @@ def reduce_scatter_into(
         raise ValueError(f"reduce_scatter needs size % world == 0: {n} % {world}")
     if op not in ("sum", "mean"):
         raise ValueError(f"unsupported reduction op {op!r}")
-    if out.ndim != 1 or out.size < n:
+    if out.ndim != 1 or out.size < n or not out.flags.c_contiguous:
         raise ValueError(
-            f"reduce_scatter_into needs a flat out buffer of >= {n} elements,"
-            f" got shape {out.shape}"
+            f"reduce_scatter_into needs a flat contiguous out buffer of >="
+            f" {n} elements, got shape {out.shape}"
         )
     payload = sum(int(f.nbytes) for f in flats)
     with trace_span(
@@ -143,8 +159,7 @@ def reduce_scatter_into(
         out[:n] = acc.astype(out.dtype, copy=False)
         shard = n // world
         return [
-            _readonly_view(out[r * shard : (r + 1) * shard])
-            for r in range(world)
+            readonly_slice(out, r * shard, shard) for r in range(world)
         ]
 
 

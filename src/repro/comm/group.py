@@ -8,15 +8,25 @@ argument (broadcast and allgather move the same volume): for a payload of
 
 * broadcast / allgather / reduce-scatter move ``(p-1)/p * n`` per rank,
 * allreduce moves ``2(p-1)/p * n`` per rank (reduce-scatter + allgather).
+
+This facade is also where the checker observes communication (the
+functional layer stays unfingerprinted so ad-hoc numerics helpers do not
+pollute the per-rank sequences): when a ``CheckContext`` with the
+``collectives`` pass is installed, every call appends a per-rank
+fingerprint that :meth:`ProcessGroup.barrier` (and engine step boundaries)
+cross-check for would-be deadlocks; when ``zerosan`` is on, the zero-copy
+``*_into`` variants register their shared output buffer so writes through
+an outstanding view are caught.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.check.runtime import CheckContext, get_checker
 from repro.comm import collectives as C
 from repro.obs.metrics import get_registry
 
@@ -64,20 +74,52 @@ class CommStats:
 class ProcessGroup:
     """A simulated communicator over ``world_size`` in-process ranks."""
 
-    def __init__(self, world_size: int) -> None:
+    def __init__(
+        self, world_size: int, *, check: Optional[CheckContext] = None
+    ) -> None:
         if world_size <= 0:
             raise ValueError("world_size must be positive")
         self.world_size = world_size
         self.stats = CommStats()
+        self._check = check if check is not None else get_checker()
+        self._check_gid: Optional[int] = None
+        ck = self._check
+        if ck is not None and ck.collectives is not None:
+            self._check_gid = ck.collectives.register_group(world_size)
 
     def _per_rank_ring_volume(self, payload_bytes: int) -> int:
         p = self.world_size
         return int(payload_bytes * (p - 1) / p)
 
+    # --- checker hooks ----------------------------------------------------------
+    def _fingerprint(self, op: str, payloads: Sequence[np.ndarray]) -> None:
+        """Record one collective's per-rank fingerprints (before executing,
+        as a real collective would already be committed once issued)."""
+        ck = self._check
+        if ck is None or ck.collectives is None:
+            return
+        ck.collectives.record(
+            self._check_gid,
+            op,
+            [str(np.asarray(p).dtype) for p in payloads],
+            [int(np.asarray(p).size) for p in payloads],
+        )
+
+    def _share(self, owner: np.ndarray, views: Sequence[np.ndarray]) -> None:
+        """A zero-copy collective reused ``owner``: void outstanding shares
+        of it, then register the new ones."""
+        ck = self._check
+        if ck is None or ck.zerosan is None:
+            return
+        ck.zerosan.reclaim(owner)
+        ck.zerosan.register_shared(owner, views)
+
     # --- collectives -----------------------------------------------------------
     def broadcast(
         self, buffers: Sequence[np.ndarray | None], root: int = 0
     ) -> list[np.ndarray]:
+        if self._check is not None and buffers[root] is not None:
+            self._fingerprint("broadcast", [buffers[root]] * self.world_size)
         out = C.broadcast(buffers, root)
         self.stats.record(
             "broadcast", self._per_rank_ring_volume(out[0].nbytes) * self.world_size
@@ -85,6 +127,8 @@ class ProcessGroup:
         return out
 
     def allgather(self, shards: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if self._check is not None:
+            self._fingerprint("allgather", shards)
         out = C.allgather(shards)
         self.stats.record(
             "allgather", self._per_rank_ring_volume(out[0].nbytes) * self.world_size
@@ -95,7 +139,11 @@ class ProcessGroup:
         self, shards: Sequence[np.ndarray], out: np.ndarray
     ) -> list[np.ndarray]:
         """Allgather into a caller-owned reusable buffer (read-only views)."""
+        if self._check is not None:
+            self._fingerprint("allgather", shards)
         views = C.allgather_into(shards, out)
+        if self._check is not None:
+            self._share(out, views)
         self.stats.record(
             "allgather",
             self._per_rank_ring_volume(views[0].nbytes) * self.world_size,
@@ -105,6 +153,8 @@ class ProcessGroup:
     def reduce_scatter(
         self, buffers: Sequence[np.ndarray], *, op: str = "sum"
     ) -> list[np.ndarray]:
+        if self._check is not None:
+            self._fingerprint("reduce_scatter", buffers)
         out = C.reduce_scatter(buffers, op=op)
         self.stats.record(
             "reduce_scatter",
@@ -116,7 +166,11 @@ class ProcessGroup:
         self, buffers: Sequence[np.ndarray], out: np.ndarray, *, op: str = "sum"
     ) -> list[np.ndarray]:
         """Reduce-scatter into a caller-owned reusable buffer."""
+        if self._check is not None:
+            self._fingerprint("reduce_scatter", buffers)
         views = C.reduce_scatter_into(buffers, out, op=op)
+        if self._check is not None:
+            self._share(out, views)
         self.stats.record(
             "reduce_scatter",
             self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
@@ -126,6 +180,8 @@ class ProcessGroup:
     def allreduce(
         self, buffers: Sequence[np.ndarray], *, op: str = "sum"
     ) -> list[np.ndarray]:
+        if self._check is not None:
+            self._fingerprint("allreduce", buffers)
         out = C.allreduce(buffers, op=op)
         self.stats.record(
             "allreduce",
@@ -136,16 +192,28 @@ class ProcessGroup:
     def gather(
         self, shards: Sequence[np.ndarray], root: int = 0
     ) -> list[np.ndarray | None]:
+        if self._check is not None:
+            self._fingerprint("gather", shards)
         out = C.gather(shards, root)
         payload = sum(int(np.asarray(s).nbytes) for s in shards)
         self.stats.record("gather", payload)
         return out
 
     def scatter(self, full: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        if self._check is not None:
+            self._fingerprint("scatter", [full] * self.world_size)
         out = C.scatter(full, self.world_size, root)
         self.stats.record("scatter", int(np.asarray(full).nbytes))
         return out
 
     def barrier(self) -> None:
-        """No-op in a single-process simulation; kept for API parity."""
+        """No-op in a single-process simulation; kept for API parity.
+
+        With the collective-ordering checker installed this is a real
+        synchronization point: the per-rank fingerprint sequences are
+        cross-checked and divergence reported as the deadlock it would be.
+        """
+        ck = self._check
+        if ck is not None and ck.collectives is not None:
+            ck.collectives.cross_check(self._check_gid)
         self.stats.record("barrier", 0)

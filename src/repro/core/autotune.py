@@ -61,6 +61,13 @@ class RecommendedPlan:
                 activation_device=self.activation_device,
             ),
             tile_factor=self.tile_factor,
+            # tiling targets the MSWM-dominating linears (the 4h x h MLP
+            # weights); anything at least h^2 elements is tiled
+            tile_linear_threshold_numel=(
+                self.hidden_dim * self.hidden_dim
+                if self.tile_factor > 1
+                else None
+            ),
         )
 
 

@@ -32,6 +32,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.comm import readonly_slice
 from repro.comm.group import ProcessGroup
 from repro.nn.parameter import Parameter
 from repro.obs.metrics import get_registry
@@ -205,13 +206,17 @@ class GradientBucketStore:
         get_registry().counter("bucket.oversized_flushes").inc()
 
     def _emit_shards(self, reduced: np.ndarray, entries: list[_Entry]) -> None:
-        view = reduced.view()
-        view.flags.writeable = False
         for e in entries:
             shard = e.padded // self.world
             for r in range(self.world):
                 lo = e.offset + r * shard
-                self.on_shard(e.param, r, view[lo : lo + shard])
+                self.on_shard(e.param, r, readonly_slice(reduced, lo, shard))
+
+    def reset(self) -> None:
+        """Drop banked gradients without reducing them (aborted step)."""
+        for bucket in self._buckets.values():
+            bucket.entries.clear()
+            bucket.fill = 0
 
     # --- introspection -----------------------------------------------------------
     @property

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 from enum import Enum, IntEnum
 from typing import Optional
 
+from repro.check.config import CheckConfig
 from repro.utils.units import GB
 
 
@@ -96,6 +97,9 @@ class ZeroConfig:
     # stage3_param_persistence_threshold) — small biases and norms are not
     # worth an allgather each use.  0 partitions everything.
     param_persistence_threshold_numel: int = 0
+    # Correctness checking (repro.check): which sanitizer passes the engine
+    # runs.  All off by default; see docs/checking.md.
+    check: CheckConfig = field(default_factory=CheckConfig)
 
     def __post_init__(self) -> None:
         if self.world_size <= 0:
@@ -116,6 +120,58 @@ class ZeroConfig:
             raise ValueError("tile_factor must be >= 1")
         if self.param_persistence_threshold_numel < 0:
             raise ValueError("param_persistence_threshold_numel must be >= 0")
+
+    def validate(self) -> "ZeroConfig":
+        """Reject contradictory option combinations with actionable messages.
+
+        ``__post_init__`` checks individual fields; this checks the
+        *cross-field* combinations that would otherwise silently disable a
+        feature or misbehave at runtime.  The engine calls it once at
+        construction; configs built by hand can call it directly.
+        """
+        if self.loss_scale is not None and self.loss_scale <= 0:
+            raise ValueError(
+                f"loss_scale={self.loss_scale} disables every gradient:"
+                " use a positive static scale, or None for dynamic scaling"
+            )
+        if self.tile_factor > 1 and self.tile_linear_threshold_numel is None:
+            raise ValueError(
+                f"tile_factor={self.tile_factor} does nothing without"
+                " tile_linear_threshold_numel: set the threshold that"
+                " selects which linears to tile, or leave tile_factor=1"
+            )
+        if self.prefetch_depth > 0 and not self.overlap_comm:
+            raise ValueError(
+                f"prefetch_depth={self.prefetch_depth} with"
+                " overlap_comm=False is contradictory — prefetching exists"
+                " to overlap communication; set prefetch_depth=0 or"
+                " re-enable overlap_comm"
+            )
+        for name in ("grad_accum_dtype", "master_dtype"):
+            value = getattr(self, name)
+            if value not in ("fp16", "fp32"):
+                raise ValueError(
+                    f"{name}={value!r} is not a supported precision;"
+                    " use 'fp16' or 'fp32'"
+                )
+        if self.master_dtype == "fp16" and self.loss_scale is None:
+            raise ValueError(
+                "master_dtype='fp16' with dynamic loss scaling compounds"
+                " two precision hazards: keep fp32 master weights, or pin"
+                " a static loss_scale"
+            )
+        off = self.offload
+        if off.pinned_budget_bytes <= 0:
+            raise ValueError(
+                "offload.pinned_budget_bytes must be positive — the pinned"
+                " staging pool cannot be empty when any state is offloaded"
+            )
+        if off.optimizer_chunk_numel <= 0:
+            raise ValueError(
+                "offload.optimizer_chunk_numel must be positive: it is the"
+                " NVMe streaming granularity of the optimizer step"
+            )
+        return self
 
 
 class Strategy(str, Enum):

@@ -334,3 +334,32 @@ class ParameterCoordinator:
             raise RuntimeError(
                 f"gradients pending for {stuck}: some rank never ran backward"
             )
+
+    def abort_step(self) -> None:
+        """Unwind mid-step state after an exception interrupted fwd/bwd.
+
+        An exception raised inside a module leaves parameters gathered
+        (their post-hooks never ran), gradients half-banked, and async
+        offload writes in flight.  This restores every invariant
+        :meth:`assert_no_pending` and the step boundary rely on, so the
+        next ``train_step`` starts clean instead of leaking gather buffers
+        or merging stale gradients:
+
+        * every gathered (AVAILABLE) partitioned parameter is released;
+        * banked per-rank gradients and accumulation carry-overs are
+          dropped (the step produced no update, so they are garbage);
+        * partially filled reduce buckets are reset without reducing;
+        * in-flight gradient offload writes are drained (their target
+          buffers must not be reused while I/O is pending).
+        """
+        for p in self._params_by_id.values():
+            if p.zero_meta is not None and p.state is PartitionState.AVAILABLE:
+                self.partitioner.release(p)
+            p.grad = None
+        self._pending_grads.clear()
+        if self.bucket_store is not None:
+            self.bucket_store.reset()
+        self.flush_grad_offload()
+        self.accumulating = False
+        self._full_grad_accum.clear()
+        self._accum_seen.clear()

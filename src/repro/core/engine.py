@@ -21,6 +21,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.check.runtime import CheckContext, context_from_config, get_checker
 from repro.comm.group import ProcessGroup
 from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
 from repro.core.coordinator import ParameterCoordinator
@@ -155,15 +156,25 @@ class ZeroInfinityEngine:
     ) -> None:
         if (model is None) == (model_factory is None):
             raise ValueError("provide exactly one of model / model_factory")
+        config.validate()
         self.config = config
-        self.comm = ProcessGroup(config.world_size)
+        # A config-enabled checker gets a private context threaded through
+        # every subsystem; otherwise subsystems fall back to the global one
+        # (REPRO_CHECK / use_checker), which may be None — the no-op path.
+        self.check_context: Optional[CheckContext] = (
+            context_from_config(config.check) or get_checker()
+        )
+        self.comm = ProcessGroup(config.world_size, check=self.check_context)
         self.ledger = ledger
-        self.offload = InfinityOffloadEngine(config.offload, ledger=ledger)
+        self.offload = InfinityOffloadEngine(
+            config.offload, ledger=ledger, check=self.check_context
+        )
         self.partitioner = ParameterPartitioner(
             config.world_size,
             offload=self.offload,
             comm=self.comm,
             bandwidth_centric=config.bandwidth_centric,
+            check=self.check_context,
         )
 
         # --- model construction / partitioning -------------------------------
@@ -299,23 +310,35 @@ class ZeroInfinityEngine:
     ) -> StepResult:
         scale = self.scaler.loss_scale
         losses: list[float] = []
-        self.coordinator.begin_accumulation()
-        for batches in rounds:
-            for rank, batch in enumerate(batches):
-                self.coordinator.begin_rank(rank)
-                if self.prefetcher is not None:
-                    self.prefetcher.begin_iteration()
-                with trace_span("engine:forward", cat="engine", rank=rank):
-                    loss = self.model(*batch)
-                losses.append(float(loss))
-                with trace_span("engine:backward", cat="engine", rank=rank):
-                    self.model.backward(scale)
-                    self.coordinator.end_rank_backward()
-                if self.prefetcher is not None:
-                    self.prefetcher.end_iteration()
-            self.coordinator.assert_no_pending()
-        self.coordinator.end_accumulation()
-        self.coordinator.flush_grad_offload()
+        try:
+            self.coordinator.begin_accumulation()
+            for batches in rounds:
+                for rank, batch in enumerate(batches):
+                    self.coordinator.begin_rank(rank)
+                    if self.prefetcher is not None:
+                        self.prefetcher.begin_iteration()
+                    with trace_span("engine:forward", cat="engine", rank=rank):
+                        loss = self.model(*batch)
+                    losses.append(float(loss))
+                    with trace_span("engine:backward", cat="engine", rank=rank):
+                        self.model.backward(scale)
+                        self.coordinator.end_rank_backward()
+                    if self.prefetcher is not None:
+                        self.prefetcher.end_iteration()
+                self.coordinator.assert_no_pending()
+            self.coordinator.end_accumulation()
+            self.coordinator.flush_grad_offload()
+        except Exception:
+            # Unwind cleanly: release gathered params, drop banked grads and
+            # bucket contents, drain async writes — so the engine (and any
+            # sanitizer shadow state) is step-clean for the caller's retry.
+            self.coordinator.abort_step()
+            ctx = self.check_context
+            if ctx is not None:
+                # record-only sweep: a raised stuck-gather would mask the
+                # propagating root cause
+                ctx.on_step_abort(self.coordinator._params_by_id.keys())
+            raise
 
         # grads carry scale * num_rounds; dividing restores the microbatch mean
         grad_scale = scale * len(rounds)
@@ -324,6 +347,7 @@ class ZeroInfinityEngine:
             self.steps_skipped += 1
             self._drop_grads()
             self.scaler.update(True)
+            self._on_step_boundary()
             return StepResult(losses, skipped=True, loss_scale=scale)
 
         with trace_span("engine:optimizer", cat="engine", scale=grad_scale):
@@ -331,7 +355,14 @@ class ZeroInfinityEngine:
         self.scaler.update(False)
         self._drop_grads()
         self.steps_taken += 1
+        self._on_step_boundary()
         return StepResult(losses, skipped=False, loss_scale=scale)
+
+    def _on_step_boundary(self) -> None:
+        """Step-boundary checker sweep (gather leaks, sequence cross-check)."""
+        ctx = self.check_context
+        if ctx is not None:
+            ctx.on_step_boundary(self.coordinator._params_by_id.keys())
 
     def _drop_grads(self) -> None:
         for p in self.model.parameters():

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.check.runtime import get_checker
 from repro.core.config import OffloadConfig, OffloadDevice
 from repro.hardware.memory import MemoryLedger
 from repro.nvme.aio import IORequest
@@ -76,15 +77,21 @@ class InfinityOffloadEngine:
         config: OffloadConfig,
         *,
         ledger: Optional[MemoryLedger] = None,
+        check=None,
     ) -> None:
         self.config = config
         self.ledger = ledger
         self.counters = OffloadCounters()
+        if check is None:
+            check = get_checker()
+        self._check = check
         # in-memory tiers: key -> (array, device_tag)
         self._mem: dict[str, tuple[np.ndarray, object]] = {}
-        self.pool = PinnedBufferPool(config.pinned_budget_bytes)
+        self.pool = PinnedBufferPool(config.pinned_budget_bytes, check=check)
         self.store: Optional[TensorStore] = (
-            TensorStore(config.nvme_dir, pool=self.pool) if config.any_nvme else None
+            TensorStore(config.nvme_dir, pool=self.pool, check=check)
+            if config.any_nvme
+            else None
         )
         self._inflight: dict[str, _Inflight] = {}
         self._lock = threading.Lock()
@@ -144,6 +151,16 @@ class InfinityOffloadEngine:
                 "offload:swap_out", cat="offload", tier="nvme",
                 bytes=int(arr.nbytes), rank=rank, sync=sync,
             ):
+                # an in-flight prefetch is still reading this key's file;
+                # drain it before the write lands in the same byte range
+                # (and before the staging buffer returns to the pool with
+                # stale bytes)
+                with self._lock:
+                    inflight = self._inflight.pop(key, None)
+                if inflight is not None:
+                    inflight.request.wait()
+                    if inflight.pin is not None:
+                        inflight.pin.release()
                 self._drop_mem(key)  # key may migrate tiers
                 self.counters.add_link(rank, arr.nbytes)
                 self.counters.nvme_write_bytes += arr.nbytes

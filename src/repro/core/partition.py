@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.check.runtime import CheckContext, get_checker
 from repro.comm.group import ProcessGroup
 from repro.core.config import OffloadDevice
 from repro.core.offload import InfinityOffloadEngine
@@ -63,12 +64,14 @@ class ParameterPartitioner:
         offload: InfinityOffloadEngine,
         comm: Optional[ProcessGroup] = None,
         bandwidth_centric: bool = True,
+        check: Optional[CheckContext] = None,
     ) -> None:
         if world_size <= 0:
             raise ValueError("world_size must be positive")
         self.world_size = world_size
         self.offload = offload
-        self.comm = comm or ProcessGroup(world_size)
+        self._check = check if check is not None else get_checker()
+        self.comm = comm or ProcessGroup(world_size, check=self._check)
         self.bandwidth_centric = bandwidth_centric
         self._owner_rr = 0  # round-robin owner assignment for owner layout
         # reusable allgather output for gather_coalesced, keyed by dtype;
@@ -89,6 +92,24 @@ class ParameterPartitioner:
 
     def param_shard_key(self, param: Parameter, rank: int) -> str:
         return self._key(param, rank, "param16")
+
+    # --- checker hooks ----------------------------------------------------------
+    def _zerosan(self):
+        """The lifecycle sanitizer, or ``None`` (the disabled fast path)."""
+        ck = self._check
+        return None if ck is None else ck.zerosan
+
+    def _released_data(self, param: Parameter, dtype) -> np.ndarray:
+        """The placeholder installed as ``param.data`` while partitioned.
+
+        With ZeroSan enabled this is a tripwire array that reports
+        use-after-release at the offending ufunc; otherwise the plain empty
+        array the engine has always used.
+        """
+        san = self._zerosan()
+        if san is not None:
+            return san.placeholder(param, dtype)
+        return np.empty(0, dtype=dtype)
 
     # --- partition -------------------------------------------------------------
     def partition(self, param: Parameter) -> None:
@@ -139,7 +160,10 @@ class ParameterPartitioner:
             owner_rank=owner,
             device=self.offload.config.param_device,
         )
-        param.data = np.empty(0, dtype=flat.dtype)
+        san = self._zerosan()
+        if san is not None:
+            san.on_partition(param)
+        param.data = self._released_data(param, flat.dtype)
         param.state = PartitionState.PARTITIONED
 
     # --- gather ------------------------------------------------------------------
@@ -154,6 +178,9 @@ class ParameterPartitioner:
         meta: ZeroParamMeta = param.zero_meta
         if meta is None:
             raise RuntimeError("gather on a parameter that was never partitioned")
+        san = self._zerosan()
+        if san is not None:
+            san.on_gather_begin(param)
         if meta.owner_rank is None:
             shards = [
                 self.offload.fetch(self._key(param, r, "param16"), rank=r)
@@ -170,6 +197,8 @@ class ParameterPartitioner:
             )[0]
         param.data = gathered[: meta.full_numel].reshape(meta.full_shape)
         param.state = PartitionState.AVAILABLE
+        if san is not None:
+            san.on_gather_end(param)
 
     # --- coalesced gather (module granularity) -----------------------------------
     def _staging(self, dtype: np.dtype, block: int) -> np.ndarray:
@@ -224,6 +253,13 @@ class ParameterPartitioner:
         metas = [p.zero_meta for p in group]
         block = sum(m.shard_numel for m in metas)
         out = self._staging(dtype, block)
+        san = self._zerosan()
+        if san is not None:
+            # staging writes into the reused buffer: void shares from the
+            # previous coalesced gather before they read torn data
+            san.reclaim(out)
+            for p in group:
+                san.on_gather_begin(p)
         # zero-copy staging: each rank's shards are fetched straight into
         # their final position in the gather buffer (storage -> out, no
         # intermediate copy); the in-place allgather then detects the
@@ -248,6 +284,8 @@ class ParameterPartitioner:
                 flat[r * sh : (r + 1) * sh] = full[r * block + off : r * block + off + sh]
             p.data = flat[: m.full_numel].reshape(m.full_shape)
             p.state = PartitionState.AVAILABLE
+            if san is not None:
+                san.on_gather_end(p)
             off += sh
 
     def coalesced_fetch_plan(
@@ -280,7 +318,10 @@ class ParameterPartitioner:
         """
         if param.state is not PartitionState.AVAILABLE or param.zero_meta is None:
             return
-        param.data = np.empty(0, dtype=param.zero_meta.np_dtype)
+        san = self._zerosan()
+        if san is not None:
+            san.on_release(param)
+        param.data = self._released_data(param, param.zero_meta.np_dtype)
         param.state = PartitionState.PARTITIONED
 
     # --- shard access (optimizer path) -----------------------------------------

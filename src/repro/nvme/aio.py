@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.check.runtime import CheckContext, get_checker
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace_span
 from repro.utils.units import MIB
@@ -55,6 +56,7 @@ class IORequest:
         self.kind = kind
         self.nbytes = nbytes
         self._observed = False
+        self._races = None  # AioRaceDetector watching this request, if any
 
     def done(self) -> bool:
         return all(f.done() for f in self._futures)
@@ -67,6 +69,9 @@ class IORequest:
         by the caller does not poison engine shutdown.
         """
         self._observed = True
+        if self._races is not None:
+            # the join edge: this request is now ordered before the caller
+            self._races.on_wait(id(self))
         for f in self._futures:
             f.result()
 
@@ -82,13 +87,20 @@ class AsyncIOEngine:
         Requests larger than this are split into parallel sub-operations.
     """
 
-    def __init__(self, *, num_threads: int = 4, block_bytes: int = 8 * MIB) -> None:
+    def __init__(
+        self,
+        *,
+        num_threads: int = 4,
+        block_bytes: int = 8 * MIB,
+        check: CheckContext | None = None,
+    ) -> None:
         if num_threads <= 0:
             raise ValueError("num_threads must be positive")
         if block_bytes <= 0:
             raise ValueError("block_bytes must be positive")
         self.num_threads = num_threads
         self.block_bytes = block_bytes
+        self._check = check if check is not None else get_checker()
         self._pool = ThreadPoolExecutor(
             max_workers=num_threads, thread_name_prefix="repro-aio"
         )
@@ -180,6 +192,26 @@ class AsyncIOEngine:
         if self._closed:
             raise RuntimeError("AsyncIOEngine is closed")
 
+    def _watch_races(
+        self, req: IORequest, buffer: np.ndarray, path: str, file_offset: int
+    ) -> IORequest:
+        """Hand the request to the race detector (no-op when disabled)."""
+        ck = self._check
+        if ck is not None and ck.races is not None:
+            races = ck.races
+            kwargs = dict(
+                path=path,
+                file_lo=file_offset,
+                file_hi=file_offset + req.nbytes,
+                done=req.done,
+            )
+            if req.kind == "read":
+                races.on_submit_read(id(req), buffer, **kwargs)
+            else:
+                races.on_submit_write(id(req), buffer, **kwargs)
+            req._races = races
+        return req
+
     # --- public API ----------------------------------------------------------
     def submit_write(
         self, path: str, array: np.ndarray, *, file_offset: int = 0
@@ -208,7 +240,8 @@ class AsyncIOEngine:
                 for o, n in self._split(len(view))
             ]
             self.stats.add_write(len(view))
-            return self._track(IORequest(futures, "write", len(view)))
+            req = self._track(IORequest(futures, "write", len(view)))
+            return self._watch_races(req, data, path, file_offset)
 
     def _pwrite_block(self, path: str, data: memoryview, offset: int) -> None:
         """One sub-block write on a worker thread, span on its own lane."""
@@ -236,7 +269,8 @@ class AsyncIOEngine:
                 for o, n in self._split(len(view))
             ]
             self.stats.add_read(len(view))
-            return self._track(IORequest(futures, "read", len(view)))
+            req = self._track(IORequest(futures, "read", len(view)))
+            return self._watch_races(req, out, path, file_offset)
 
     def write(self, path: str, array: np.ndarray, *, file_offset: int = 0) -> None:
         """Synchronous write (submit + wait)."""

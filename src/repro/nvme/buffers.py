@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check.runtime import CheckContext, get_checker
 from repro.obs.metrics import get_registry
 
 
@@ -76,13 +77,20 @@ class PinnedBufferPool:
     needs headroom.
     """
 
-    def __init__(self, budget_bytes: int, *, alignment: int = 4096) -> None:
+    def __init__(
+        self,
+        budget_bytes: int,
+        *,
+        alignment: int = 4096,
+        check: CheckContext | None = None,
+    ) -> None:
         if budget_bytes <= 0:
             raise ValueError("budget must be positive")
         if alignment <= 0:
             raise ValueError("alignment must be positive")
         self.budget_bytes = budget_bytes
         self.alignment = alignment
+        self._check = check if check is not None else get_checker()
         self._free: list[np.ndarray] = []  # sorted by nbytes ascending
         self._live_bytes = 0
         self._cached_bytes = 0
@@ -151,6 +159,11 @@ class PinnedBufferPool:
             return PinnedBuffer(storage, numel, dtype, self)
 
     def _give_back(self, storage: np.ndarray) -> None:
+        ck = self._check
+        if ck is not None and ck.races is not None:
+            # a buffer returning to the pool becomes eligible for reuse;
+            # in-flight I/O still targeting it is a use-after-free race
+            ck.races.on_buffer_release(storage)
         with self._lock:
             self._live_bytes -= storage.nbytes
             self._cached_bytes += storage.nbytes

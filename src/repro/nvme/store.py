@@ -50,12 +50,13 @@ class TensorStore:
         *,
         engine: Optional[AsyncIOEngine] = None,
         pool: Optional[PinnedBufferPool] = None,
+        check=None,
     ) -> None:
         self._own_dir = directory is None
         self.directory = directory or tempfile.mkdtemp(prefix="repro-nvme-")
         os.makedirs(self.directory, exist_ok=True)
         self._own_engine = engine is None
-        self.engine = engine or AsyncIOEngine()
+        self.engine = engine or AsyncIOEngine(check=check)
         self.pool = pool
         self._records: dict[str, _Record] = {}
         self._lock = threading.Lock()

@@ -1,0 +1,7 @@
+"""Deliberate-bug corpus for repro.check (see test_check_corpus.py).
+
+Each module declares the bug it contains (``EXPECT``: the violation kind),
+the checker passes that must be armed (``PASSES``), and a ``trigger()``
+that commits the bug.  The harness proves every snippet is flagged with
+exactly its expected kind — and with nothing else — under all passes.
+"""

@@ -1,0 +1,20 @@
+"""Bug: ranks disagree on the payload of one collective.
+
+A partition-bounds off-by-one gives rank 1 a shard of 3 elements where
+rank 0 brings 4; a real allgather would return garbage (or hang on size
+validation).  The ordering checker reports the mismatch at the call.
+"""
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+
+EXPECT = "collective-shape-mismatch"
+PASSES = "collectives"
+
+
+def trigger():
+    pg = ProcessGroup(2)
+    pg.allgather(
+        [np.ones(4, dtype=np.float16), np.ones(3, dtype=np.float16)]
+    )

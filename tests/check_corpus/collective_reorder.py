@@ -1,0 +1,24 @@
+"""Bug: two ranks issue the same collectives in different orders.
+
+Conditional control flow (here: rank-dependent bucket flush order) makes
+rank 1 reduce-scatter before its allgather while rank 0 does the reverse
+— the canonical NCCL deadlock.  The simulation cannot hang, so the
+cross-check at the barrier reports the first divergence instead.
+"""
+
+from repro.check import get_checker
+
+EXPECT = "collective-divergence"
+PASSES = "collectives"
+
+
+def trigger():
+    chk = get_checker().collectives
+    gid = chk.register_group(2)
+    # rank 0's program order
+    chk.record_rank(gid, 0, "allgather", "float16", 1024)
+    chk.record_rank(gid, 0, "reduce_scatter", "float32", 4096)
+    # rank 1 flushed its bucket first
+    chk.record_rank(gid, 1, "reduce_scatter", "float32", 4096)
+    chk.record_rank(gid, 1, "allgather", "float16", 1024)
+    chk.cross_check(gid)  # the barrier where real ranks would deadlock

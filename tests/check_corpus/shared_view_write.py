@@ -1,0 +1,27 @@
+"""Bug: writing into a buffer whose zero-copy views are still outstanding.
+
+``allgather_into`` returns read-only views aliasing the caller's output
+buffer; until the owner reclaims it (its next collective), mutating that
+memory silently corrupts every holder of a view.  The write barrier
+(``ZeroSan.check_write``) is what an instrumented writer calls before
+reusing such a buffer — here the buggy writer skips the reclaim.
+"""
+
+import numpy as np
+
+from repro.check import get_checker
+from repro.comm.group import ProcessGroup
+
+EXPECT = "shared-view-write"
+PASSES = "zerosan"
+
+
+def trigger():
+    pg = ProcessGroup(2)
+    out = np.empty(8, dtype=np.float32)
+    shards = [np.arange(4, dtype=np.float32), np.arange(4, dtype=np.float32)]
+    views = pg.allgather_into(shards, out)
+    assert views  # consumers now alias ``out``
+    # the buggy writer reuses ``out`` for scratch without reclaiming it
+    get_checker().zerosan.check_write(out)
+    out[:] = 0.0

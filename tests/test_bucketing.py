@@ -273,8 +273,18 @@ class TestZeroCopyCollectives:
         views = allgather_into(shards, out)
         np.testing.assert_array_equal(views[0], allgather(shards)[0])
         # every rank shares the same read-only memory, no copies
-        assert all(v.base is out for v in views)
+        assert all(np.shares_memory(v, out) for v in views)
         assert all(not v.flags.writeable for v in views)
+        # the escape hatches are closed: .base is read-only too, and the
+        # writeable flag cannot be flipped back on
+        for v in views:
+            with pytest.raises(TypeError):
+                v.base[0] = 0.0
+            with pytest.raises(ValueError):
+                v.flags.writeable = True
+        # still a live alias of the owner buffer, not a copy
+        out[0] = 123.0
+        assert views[0][0] == 123.0
 
     def test_allgather_into_reuses_buffer(self):
         out = np.empty(4, dtype=np.float32)
@@ -293,8 +303,10 @@ class TestZeroCopyCollectives:
         ref = reduce_scatter(bufs, op="mean")
         for v, r in zip(views, ref):
             np.testing.assert_array_equal(v, r)
-        assert all(v.base is out for v in views)
+        assert all(np.shares_memory(v, out) for v in views)
         assert all(not v.flags.writeable for v in views)
+        with pytest.raises(TypeError):
+            views[0].base[0] = 0.0
 
     def test_reduce_scatter_into_size_checks(self):
         with pytest.raises(ValueError):

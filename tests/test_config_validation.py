@@ -106,3 +106,73 @@ class TestStrategyPresets:
             Strategy.ZERO_3, world_size=4, prefetch_depth=7
         )
         assert cfg.prefetch_depth == 7
+
+
+class TestCrossFieldValidate:
+    """``ZeroConfig.validate()``: contradictory combinations are rejected
+    with messages that name both the problem and the fix."""
+
+    def test_valid_default_returns_self(self):
+        cfg = ZeroConfig()
+        assert cfg.validate() is cfg
+
+    def test_every_strategy_preset_validates(self):
+        for strategy, preset in STRATEGY_PRESETS.items():
+            preset.validate()
+
+    @pytest.mark.parametrize("scale", [0.0, -4.0])
+    def test_nonpositive_loss_scale(self, scale):
+        with pytest.raises(ValueError, match="loss_scale.*dynamic"):
+            ZeroConfig(loss_scale=scale).validate()
+
+    def test_tile_factor_without_threshold(self):
+        with pytest.raises(ValueError, match="tile_linear_threshold_numel"):
+            ZeroConfig(tile_factor=4).validate()
+
+    def test_tile_factor_with_threshold_ok(self):
+        ZeroConfig(tile_factor=4, tile_linear_threshold_numel=1024).validate()
+
+    def test_prefetch_without_overlap(self):
+        with pytest.raises(ValueError, match="overlap_comm"):
+            ZeroConfig(prefetch_depth=2, overlap_comm=False).validate()
+
+    def test_no_prefetch_without_overlap_ok(self):
+        ZeroConfig(prefetch_depth=0, overlap_comm=False).validate()
+
+    @pytest.mark.parametrize(
+        "field", ["grad_accum_dtype", "master_dtype"]
+    )
+    def test_unsupported_precision_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            ZeroConfig(**{field: "bf16", "loss_scale": 1.0}).validate()
+
+    def test_fp16_master_needs_static_scale(self):
+        with pytest.raises(ValueError, match="static loss_scale"):
+            ZeroConfig(master_dtype="fp16", loss_scale=None).validate()
+
+    def test_fp16_master_with_static_scale_ok(self):
+        ZeroConfig(master_dtype="fp16", loss_scale=128.0).validate()
+
+    def test_nonpositive_pinned_budget(self):
+        with pytest.raises(ValueError, match="pinned_budget_bytes"):
+            ZeroConfig(
+                offload=OffloadConfig(pinned_budget_bytes=0)
+            ).validate()
+
+    def test_nonpositive_optimizer_chunk(self):
+        with pytest.raises(ValueError, match="optimizer_chunk_numel"):
+            ZeroConfig(
+                offload=OffloadConfig(optimizer_chunk_numel=0)
+            ).validate()
+
+    def test_engine_validates_at_construction(self):
+        """The engine refuses a contradictory config before building."""
+        from repro.core import ZeroInfinityEngine
+        from repro.nn import Linear
+        from repro.utils.rng import seeded_rng
+
+        bad = ZeroConfig(world_size=2, tile_factor=8)
+        with pytest.raises(ValueError, match="tile_linear_threshold_numel"):
+            ZeroInfinityEngine(
+                bad, model_factory=lambda: Linear(4, 4, rng=seeded_rng(0))
+            )

@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.sim",
     "repro.workloads",
     "repro.obs",
+    "repro.check",
     "repro.utils",
 ]
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Repo lint CLI: AST checks for repro invariants.
+
+Thin launcher around :mod:`repro.check.lint` so the checks run without an
+installed package::
+
+    python tools/lint_repro.py                 # lint src/ against the baseline
+    python tools/lint_repro.py --show-all      # include baseline-absorbed debt
+    python tools/lint_repro.py --update-baseline
+
+Exit status is non-zero when findings exceed ``tools/lint_baseline.json``.
+Suppress a single line with a ``# lint: allow-<rule>`` comment.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.check.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
