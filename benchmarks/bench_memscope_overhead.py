@@ -1,0 +1,51 @@
+"""Memory-scope overhead contract: disabled < 2%, enabled < 10% of a step.
+
+:mod:`repro.obs.memscope` leaves its ledger hooks compiled into every
+allocation choke point — gather buffers, gradient buckets, offload swaps,
+the pinned pool, activation checkpoints.  Like the tracer, that is only
+tenable if the disabled fast path is effectively free and active
+accounting stays a small tax, so this bench measures both on a real
+engine step and asserts the contract (measurement model in
+:mod:`repro.obs.overhead`).  ``tests/test_memscope_overhead.py`` enforces
+the same bound in tier 1; the machine-readable result lands in
+``BENCH_memscope.json`` at the repo root.
+"""
+
+import json
+import os
+
+from repro.obs.overhead import measure_memscope_overhead
+
+DISABLED_BUDGET = 0.02  # always-on ledger hooks must be invisible
+ENABLED_BUDGET = 0.10  # live accounting may tax the step this much
+
+
+def test_memscope_overhead_contract(emit, benchmark):
+    report = benchmark.pedantic(
+        measure_memscope_overhead, rounds=1, iterations=1
+    )
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_memscope.json",
+    )
+    with open(path, "w") as f:
+        json.dump(
+            {
+                "step_disabled_s": report.step_disabled_s,
+                "step_enabled_s": report.step_enabled_s,
+                "ops_per_step": report.ops_per_step,
+                "noop_call_s": report.noop_call_s,
+                "op_call_s": report.op_call_s,
+                "disabled_overhead": report.disabled_overhead,
+                "enabled_overhead": report.enabled_overhead,
+                "disabled_budget": DISABLED_BUDGET,
+                "enabled_budget": ENABLED_BUDGET,
+            },
+            f,
+            indent=2,
+        )
+        f.write("\n")
+    emit("BENCH_memscope", report.render())
+    assert report.ops_per_step > 50  # the step really is instrumented
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()

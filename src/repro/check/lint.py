@@ -34,6 +34,15 @@ runtime passes rely on:
     the escape hatch that lets callers mutate the base of a read-only
     zero-copy view.
 
+``rawalloc``
+    Modules instrumented by the memory scope (gather, bucket, offload,
+    NVMe staging, activation checkpointing) must not allocate long-lived
+    buffers with raw ``np.empty`` / ``np.zeros`` — an unattributed
+    allocation is invisible to :mod:`repro.obs.memscope`, so watermarks
+    and attribution silently understate the tier.  Route through
+    ``attributed_empty`` / ``attributed_zeros``; transient temps carry a
+    same-line ``# lint: allow-rawalloc``.
+
 A finding can be suppressed with a same-line ``# lint: allow-<rule>``
 comment; pre-existing debt is pinned in ``tools/lint_baseline.json`` so
 only *new* violations fail CI.
@@ -53,6 +62,7 @@ RULES: tuple[str, ...] = (
     "rng",
     "float64-upcast",
     "writeable-flip",
+    "rawalloc",
 )
 
 #: Packages whose numerics must be deterministic and clock-free.
@@ -97,6 +107,21 @@ FUNCTIONAL_COLLECTIVES: frozenset[str] = frozenset(
     }
 )
 
+#: Modules instrumented by repro.obs.memscope: allocations here must be
+#: attributed (or carry ``# lint: allow-rawalloc`` for transient temps).
+MEMSCOPE_MODULES: frozenset[str] = frozenset(
+    {
+        "repro/core/bucket.py",
+        "repro/core/coordinator.py",
+        "repro/core/offload.py",
+        "repro/core/partition.py",
+        "repro/core/prefetch.py",
+        "repro/nn/checkpoint.py",
+        "repro/nvme/buffers.py",
+        "repro/nvme/store.py",
+    }
+)
+
 #: Explicitly-seeded RNG constructors that remain allowed everywhere.
 RNG_CONSTRUCTORS: frozenset[str] = frozenset(
     {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
@@ -137,6 +162,7 @@ class _Visitor(ast.NodeVisitor):
         self.in_check = self.rel.startswith("repro/check/")
         self.numerics = any(self.rel.startswith(p) for p in NUMERICS_PACKAGES)
         self.hot = self.rel in HOT_PATH_MODULES
+        self.memscoped = self.rel in MEMSCOPE_MODULES
         self._random_aliases: set[str] = set()  # names bound to stdlib random
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
@@ -243,6 +269,20 @@ class _Visitor(ast.NodeVisitor):
                     "astype to float64 in a hot-path module doubles every"
                     " byte moved; accumulate in float32",
                 )
+        if (
+            self.memscoped
+            and len(chain) == 2
+            and chain[0] in ("np", "numpy")
+            and chain[1] in ("empty", "zeros")
+        ):
+            self._flag(
+                node,
+                "rawalloc",
+                f"raw np.{chain[1]} in a memscope-instrumented module is"
+                f" invisible to memory attribution; use"
+                f" repro.obs.memscope.attributed_{chain[1]} (or mark a"
+                f" transient temp with '# lint: allow-rawalloc')",
+            )
         self.generic_visit(node)
 
     # --- attributes (np.float64 references in hot modules) -----------------------

@@ -7,7 +7,10 @@ Subcommands mirror the questions the paper answers:
 * ``repro memory``     — the Sec. 3 memory profile of a model configuration;
 * ``repro efficiency`` — required bandwidths from the Sec. 4 model;
 * ``repro train-demo`` — a short functional training run with full NVMe
-  offload on simulated ranks (proof the whole stack works on this machine).
+  offload on simulated ranks (proof the whole stack works on this machine);
+* ``repro memreport``   — the same run profiled by :mod:`repro.obs.memscope`:
+  per-tier watermarks with owner attribution, drift against the Sec. 3
+  analytic model, and tuning recommendations.
 
 ``train-demo`` and ``throughput`` accept ``--trace out.json``: the run (or
 simulated timeline) is exported as Chrome trace-event JSON, ready to open
@@ -202,6 +205,13 @@ def _cmd_train_demo(args) -> int:
         trace_ctx = use_tracer()
     else:
         trace_ctx = contextlib.nullcontext()
+    memreport = getattr(args, "memreport", False)
+    if memreport:
+        from repro.obs import use_memscope
+
+        scope_ctx = use_memscope()
+    else:
+        scope_ctx = contextlib.nullcontext()
 
     model_cfg = TransformerConfig(
         num_layers=2,
@@ -226,7 +236,7 @@ def _cmd_train_demo(args) -> int:
         loss_scale=1.0,
         **({"check": check_cfg} if check_cfg is not None else {}),
     )
-    with trace_ctx as tracer, ZeroInfinityEngine(
+    with trace_ctx as tracer, scope_ctx as scope, ZeroInfinityEngine(
         zero_cfg,
         model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
         lr=5e-3,
@@ -260,6 +270,13 @@ def _cmd_train_demo(args) -> int:
             n = write_chrome_trace(args.trace, tracer, get_registry())
             print("\n" + telemetry_summary(tracer, get_registry()))
             print(f"\nwrote {n} spans to {args.trace} (open in Perfetto)")
+        if memreport:
+            from repro.obs import build_memreport
+
+            report = build_memreport(
+                engine, scope, bsz=2 * args.world, seq=16, ci=1
+            )
+            print("\n" + report.render())
         if engine.check_context is not None:
             print(engine.check_context.summary())
     if check_cfg is not None and check_cfg.lint:
@@ -441,24 +458,43 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--hidden", type=int, default=None)
     s.set_defaults(fn=_cmd_plan)
 
+    def _train_demo_args(s, *, offload_default: str) -> None:
+        s.add_argument("--world", type=int, default=4)
+        s.add_argument("--steps", type=int, default=10)
+        s.add_argument("--hidden", type=int, default=64)
+        s.add_argument(
+            "--offload",
+            type=str,
+            default=offload_default,
+            choices=["gpu", "cpu", "nvme"],
+        )
+        s.add_argument(
+            "--trace", type=str, default=None, metavar="PATH",
+            help="record spans and write a Chrome trace JSON of the run",
+        )
+        s.add_argument(
+            "--check", type=str, default=None, metavar="SPEC",
+            help="run checker passes: 'all' or a comma list of"
+            " zerosan,collectives,races,lint (violations are recorded and"
+            " summarized after the run)",
+        )
+        s.set_defaults(fn=_cmd_train_demo)
+
     s = sub.add_parser("train-demo", help="short functional training run")
-    s.add_argument("--world", type=int, default=4)
-    s.add_argument("--steps", type=int, default=10)
-    s.add_argument("--hidden", type=int, default=64)
+    _train_demo_args(s, offload_default="nvme")
     s.add_argument(
-        "--offload", type=str, default="nvme", choices=["gpu", "cpu", "nvme"]
+        "--memreport", action="store_true",
+        help="profile the run with repro.obs.memscope and print per-tier"
+        " watermarks, attribution and analytic-model drift",
     )
-    s.add_argument(
-        "--trace", type=str, default=None, metavar="PATH",
-        help="record spans and write a Chrome trace JSON of the run",
+
+    s = sub.add_parser(
+        "memreport",
+        help="train-demo profiled by memscope: watermarks, attribution,"
+        " and Sec. 3 model drift",
     )
-    s.add_argument(
-        "--check", type=str, default=None, metavar="SPEC",
-        help="run checker passes: 'all' or a comma list of"
-        " zerosan,collectives,races,lint (violations are recorded and"
-        " summarized after the run)",
-    )
-    s.set_defaults(fn=_cmd_train_demo)
+    _train_demo_args(s, offload_default="gpu")
+    s.set_defaults(memreport=True)
     return p
 
 

@@ -63,6 +63,12 @@ class NVMeActivationOffloader(ActivationOffloader):
         self.store.delete(key)  # checkpoints are single-use
         return out
 
+    def discard(self, handle: object) -> None:
+        """Drop an unrestored checkpoint: drain the write, delete the key."""
+        key, req = handle  # type: ignore[misc]
+        req.wait()  # the async write still targets the spool file
+        self.store.delete(key)
+
 
 def install_activation_offload(
     model: Module,

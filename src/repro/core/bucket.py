@@ -35,8 +35,9 @@ import numpy as np
 from repro.comm import readonly_slice
 from repro.comm.group import ProcessGroup
 from repro.nn.parameter import Parameter
+from repro.obs.memscope import attributed_empty, attributed_zeros, mem_sample
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import trace_span
+from repro.obs.tracer import trace_counter, trace_span
 from repro.tensor.flat import pad_to_multiple
 
 #: occupancy-percent histogram bounds (5% steps)
@@ -72,8 +73,16 @@ class _Bucket:
 
     def __init__(self, dtype: np.dtype, world: int, capacity: int) -> None:
         self.dtype = dtype
-        self.inputs = [np.zeros(capacity, dtype=dtype) for _ in range(world)]
-        self.output = np.empty(capacity, dtype=dtype)
+        owner = f"bucket.{dtype}"
+        self.inputs = [
+            attributed_zeros(
+                capacity, dtype, tier="gpu", category="bucket", owner=owner
+            )
+            for _ in range(world)
+        ]
+        self.output = attributed_empty(
+            capacity, dtype, tier="gpu", category="bucket", owner=owner
+        )
         self.entries: list[_Entry] = []
         self.fill = 0
 
@@ -154,6 +163,7 @@ class GradientBucketStore:
                 buf[off + numel : off + padded] = 0
         bucket.entries.append(_Entry(param, off, numel, padded))
         bucket.fill += padded
+        trace_counter("bucket.fill_numel", cat="comm", fill=bucket.fill)
 
     # --- flushing --------------------------------------------------------------
     def flush(self) -> None:
@@ -183,6 +193,8 @@ class GradientBucketStore:
         )
         bucket.entries.clear()
         bucket.fill = 0
+        trace_counter("bucket.fill_numel", cat="comm", fill=0)
+        mem_sample("bucket_flush")
 
     def _reduce_oversized(
         self,
@@ -194,10 +206,10 @@ class GradientBucketStore:
     ) -> None:
         inputs = []
         for g in grads:
-            buf = np.zeros(padded, dtype=dtype)
+            buf = np.zeros(padded, dtype=dtype)  # lint: allow-rawalloc
             buf[:numel] = g.reshape(-1)
             inputs.append(buf)
-        out = np.empty(padded, dtype=dtype)
+        out = np.empty(padded, dtype=dtype)  # lint: allow-rawalloc
         with trace_span("bucket:flush_oversized", cat="comm", numel=padded):
             self.comm.reduce_scatter_into(inputs, out, op=self.reduce_op)
             self._emit_shards(out, [_Entry(param, 0, numel, padded)])

@@ -33,6 +33,7 @@ from repro.core.partition import ParameterPartitioner
 from repro.core.prefetch import DynamicPrefetcher
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter, PartitionState
+from repro.obs.memscope import get_memscope
 from repro.obs.tracer import trace_span
 from repro.tensor.flat import pad_to_multiple
 
@@ -69,6 +70,10 @@ class ParameterCoordinator:
         self.external_registry = ExternalParameterRegistry()
         self.current_rank = 0
         self._removers: list[Callable[[], None]] = []
+        # extra unwind work owned by other layers (e.g. the engine's
+        # activation-checkpoint discard) runs as part of abort_step so a
+        # single routing point covers every exception path
+        self._abort_callbacks: list[Callable[[], None]] = []
         # param id -> list of per-rank full gradients awaiting reduction
         self._pending_grads: dict[int, list[Optional[np.ndarray]]] = {}
         self._params_by_id: dict[int, Parameter] = {}
@@ -175,6 +180,9 @@ class ParameterCoordinator:
         if self.prefetcher is not None:
             self.prefetcher.on_execute(module, "fwd")
         self._gather_module(module)
+        scope = get_memscope()  # watermark right after the gather: the
+        if scope.enabled:  # per-module residency high point (Eq. 4 MSWM)
+            scope.sample(f"fwd:{type(module).__name__}")
 
     def _post_forward(self, module: Module, args, output):
         self._release_module(module)
@@ -184,6 +192,9 @@ class ParameterCoordinator:
         if self.prefetcher is not None:
             self.prefetcher.on_execute(module, "bwd")
         self._gather_module(module)
+        scope = get_memscope()
+        if scope.enabled:
+            scope.sample(f"bwd:{type(module).__name__}")
 
     def _post_backward(self, module: Module, grad_input) -> None:
         self._release_module(module)
@@ -234,7 +245,7 @@ class ParameterCoordinator:
             padded = pad_to_multiple(max(param.full_numel, 1), world)
             flats = []
             for g in grads:
-                f = np.zeros(padded, dtype=g.dtype)
+                f = np.zeros(padded, dtype=g.dtype)  # lint: allow-rawalloc
                 f[: param.full_numel] = g.reshape(-1)
                 flats.append(f)
             shards = self.comm.reduce_scatter(flats, op=self.config.reduce_op)
@@ -350,7 +361,10 @@ class ParameterCoordinator:
           dropped (the step produced no update, so they are garbage);
         * partially filled reduce buckets are reset without reducing;
         * in-flight gradient offload writes are drained (their target
-          buffers must not be reused while I/O is pending).
+          buffers must not be reused while I/O is pending);
+        * registered abort callbacks run (activation-checkpoint discard,
+          so saved-but-never-restored checkpoints cannot inflate the
+          ledger watermark across aborted steps).
         """
         for p in self._params_by_id.values():
             if p.zero_meta is not None and p.state is PartitionState.AVAILABLE:
@@ -363,3 +377,12 @@ class ParameterCoordinator:
         self.accumulating = False
         self._full_grad_accum.clear()
         self._accum_seen.clear()
+        for cb in self._abort_callbacks:
+            cb()
+        scope = get_memscope()
+        if scope.enabled:
+            scope.sample("abort_step")
+
+    def on_abort(self, callback: Callable[[], None]) -> None:
+        """Register extra cleanup to run at the end of :meth:`abort_step`."""
+        self._abort_callbacks.append(callback)

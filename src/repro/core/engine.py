@@ -36,6 +36,7 @@ from repro.core.tiling import TiledLinear
 from repro.core.zero_optimizer import ZeroPartitionedAdam
 from repro.hardware.memory import MemoryLedger
 from repro.nn.init_context import PartitionedInitContext
+from repro.obs.memscope import get_memscope, mem_sample
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace_span
 from repro.nn.layers import Linear
@@ -85,6 +86,10 @@ class EngineReport:
     comm_calls_by_op: dict[str, int] = None  # type: ignore[assignment]
     bucket_flushes: int = 0
     grads_bucketed: int = 0
+    # Peak resident bytes per tier ("gpu"/"cpu"/"nvme"/"pinned"): from the
+    # live memscope when one is enabled, otherwise from ledger/pool/store
+    # counters where configured.
+    tier_peak_bytes: dict[str, int] = None  # type: ignore[assignment]
 
     @property
     def total_collective_calls(self) -> int:
@@ -248,6 +253,25 @@ class ZeroInfinityEngine:
                 ledger=ledger,
             )
 
+        # --- exception-unwind cleanup (routed through abort_step) ------------
+        # A step that dies after a CheckpointedBlock's forward leaves its
+        # saved checkpoint un-restored; discarding it during abort keeps
+        # ledger/memscope watermarks honest across aborted steps.
+        from repro.nn.checkpoint import CheckpointedBlock
+
+        self._ckpt_blocks = [
+            m for m in self.model.modules() if isinstance(m, CheckpointedBlock)
+        ]
+        if self._ckpt_blocks:
+            self.coordinator.on_abort(self._discard_pending_checkpoints)
+
+        # memscope owner aliases: attribution rows render parameter names
+        # instead of opaque p{uid} ids
+        scope = get_memscope()
+        if scope.enabled:
+            for name, p in self.model.named_parameters():
+                scope.alias(f"p{p.unique_id}", name)
+
         # --- optimizer & loss scaling ----------------------------------------------
         self.optimizer = ZeroPartitionedAdam(
             self.model.parameters(),
@@ -310,6 +334,7 @@ class ZeroInfinityEngine:
     ) -> StepResult:
         scale = self.scaler.loss_scale
         losses: list[float] = []
+        mem_sample("step_begin")
         try:
             self.coordinator.begin_accumulation()
             for batches in rounds:
@@ -348,15 +373,22 @@ class ZeroInfinityEngine:
             self._drop_grads()
             self.scaler.update(True)
             self._on_step_boundary()
+            mem_sample("overflow_skip")
             return StepResult(losses, skipped=True, loss_scale=scale)
 
         with trace_span("engine:optimizer", cat="engine", scale=grad_scale):
             self.optimizer.step(grad_scale=grad_scale)
+        mem_sample("optimizer_step")
         self.scaler.update(False)
         self._drop_grads()
         self.steps_taken += 1
         self._on_step_boundary()
+        mem_sample("step_end")
         return StepResult(losses, skipped=False, loss_scale=scale)
+
+    def _discard_pending_checkpoints(self) -> None:
+        for block in self._ckpt_blocks:
+            block.discard_checkpoint()
 
     def _on_step_boundary(self) -> None:
         """Step-boundary checker sweep (gather leaks, sequence cross-check)."""
@@ -487,7 +519,23 @@ class ZeroInfinityEngine:
                 if self.coordinator.bucket_store
                 else 0
             ),
+            tier_peak_bytes=self._tier_peak_bytes(),
         )
+
+    def _tier_peak_bytes(self) -> dict[str, int]:
+        """Peak bytes per tier: memscope when live, else ledger/pool/store."""
+        scope = get_memscope()
+        if scope.enabled:
+            peaks = {t: scope.peak_bytes(t) for t in scope.tiers()}
+        else:
+            peaks = {}
+            if self.ledger is not None:
+                peaks["gpu"] = self.ledger.peak_by_kind("gpu")
+                peaks["cpu"] = self.ledger.peak_by_kind("cpu")
+            if self.offload.store is not None:
+                peaks["nvme"] = self.offload.store.total_bytes
+        peaks.setdefault("pinned", self.offload.pool.stats.peak_bytes)
+        return peaks
 
     # --- lifecycle -----------------------------------------------------------------
     def close(self) -> None:

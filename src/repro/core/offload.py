@@ -31,6 +31,7 @@ from repro.check.runtime import get_checker
 from repro.core.config import OffloadConfig, OffloadDevice
 from repro.hardware.memory import MemoryLedger
 from repro.nvme.aio import IORequest
+from repro.obs.memscope import attribution_for_key, get_memscope, mem_sample
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace_span
 from repro.nvme.buffers import PinnedBuffer, PinnedBufferPool
@@ -97,19 +98,37 @@ class InfinityOffloadEngine:
         self._lock = threading.Lock()
 
     # --- helpers -----------------------------------------------------------------
-    def _ledger_alloc(self, device_tag, nbytes: int) -> None:
-        if self.ledger is not None:
-            self.ledger.allocate(device_tag, nbytes)
+    #
+    # Residency accounting feeds two sinks at the same choke points: the
+    # capacity-enforcing MemoryLedger (when configured) and the global
+    # memscope (when enabled) — so their totals agree by construction.
+    def _ledger_alloc(self, device_tag, nbytes: int, key: str) -> None:
+        scope = get_memscope()
+        if scope.enabled or self.ledger is not None:
+            category, owner = attribution_for_key(key)
+            scope.alloc(
+                device_tag.kind.value, nbytes, category=category, owner=owner
+            )
+            if self.ledger is not None:
+                self.ledger.allocate(
+                    device_tag, nbytes, category=category, owner=owner
+                )
 
-    def _ledger_free(self, device_tag, nbytes: int) -> None:
-        if self.ledger is not None:
-            self.ledger.free(device_tag, nbytes)
+    def _ledger_free(self, device_tag, nbytes: int, key: str) -> None:
+        scope = get_memscope()
+        if scope.enabled or self.ledger is not None:
+            category, owner = attribution_for_key(key)
+            scope.free(
+                device_tag.kind.value, nbytes, category=category, owner=owner
+            )
+            if self.ledger is not None:
+                self.ledger.free(device_tag, nbytes, category=category, owner=owner)
 
     def _drop_mem(self, key: str) -> None:
         old = self._mem.pop(key, None)
         if old is not None:
             arr, tag = old
-            self._ledger_free(tag, arr.nbytes)
+            self._ledger_free(tag, arr.nbytes, key)
 
     # --- stash ------------------------------------------------------------------
     def stash(
@@ -131,7 +150,7 @@ class InfinityOffloadEngine:
         if device is OffloadDevice.NONE:
             self._drop_mem(key)
             self._mem[key] = (arr.copy(), gpu(rank))
-            self._ledger_alloc(gpu(rank), arr.nbytes)
+            self._ledger_alloc(gpu(rank), arr.nbytes, key)
             return None
         if device is OffloadDevice.CPU:
             with trace_span(
@@ -140,9 +159,10 @@ class InfinityOffloadEngine:
             ):
                 self._drop_mem(key)
                 self._mem[key] = (arr.copy(), CPU)
-                self._ledger_alloc(CPU, arr.nbytes)
+                self._ledger_alloc(CPU, arr.nbytes, key)
                 self.counters.add_link(rank, arr.nbytes)
                 self.counters.cpu_write_bytes += arr.nbytes
+            mem_sample("swap_out:cpu")
             return None
         if device is OffloadDevice.NVME:
             if self.store is None:
@@ -165,6 +185,7 @@ class InfinityOffloadEngine:
                 self.counters.add_link(rank, arr.nbytes)
                 self.counters.nvme_write_bytes += arr.nbytes
                 req = self.store.write_async(key, arr)
+                mem_sample("swap_out:nvme")
                 if sync:
                     req.wait()
                     return None
@@ -244,6 +265,7 @@ class InfinityOffloadEngine:
             get_registry().counter("prefetch.hits").inc()
             self.counters.add_link(rank, out.nbytes)
             self.counters.nvme_read_bytes += out.nbytes
+            mem_sample("swap_in:nvme")
             return out
         entry = self._mem.get(key)
         if entry is not None:
@@ -267,6 +289,7 @@ class InfinityOffloadEngine:
                 out = self.store.read(key)
             self.counters.add_link(rank, out.nbytes)
             self.counters.nvme_read_bytes += out.nbytes
+            mem_sample("swap_in:nvme")
             return out
         raise KeyError(f"offload engine has no tensor {key!r}")
 
@@ -348,7 +371,7 @@ class InfinityOffloadEngine:
                 # Pinned pool exhausted: fall back to an unpinned staging buffer
                 # rather than stalling the prefetch pipeline.
                 pin = None
-                buffer = np.empty(numel, dtype=dtype)
+                buffer = np.empty(numel, dtype=dtype)  # lint: allow-rawalloc
             target, req = self.store.read_async(key, buffer)
             with self._lock:
                 self._inflight[key] = _Inflight(target, pin, req)

@@ -28,6 +28,7 @@ from repro.comm.group import ProcessGroup
 from repro.core.config import OffloadDevice
 from repro.core.offload import InfinityOffloadEngine
 from repro.nn.parameter import Parameter, PartitionState
+from repro.obs.memscope import attributed_empty, get_memscope
 from repro.tensor.flat import pad_to_multiple, partition_bounds
 
 
@@ -109,7 +110,32 @@ class ParameterPartitioner:
         san = self._zerosan()
         if san is not None:
             return san.placeholder(param, dtype)
-        return np.empty(0, dtype=dtype)
+        return np.empty(0, dtype=dtype)  # lint: allow-rawalloc
+
+    # --- gather-buffer accounting (memscope) ------------------------------------
+    @staticmethod
+    def _gather_bytes(meta: "ZeroParamMeta") -> int:
+        return meta.padded_numel * np.dtype(meta.np_dtype).itemsize
+
+    def _account_gather(self, param: Parameter) -> None:
+        scope = get_memscope()
+        if scope.enabled:
+            scope.alloc(
+                "gpu",
+                self._gather_bytes(param.zero_meta),
+                category="gather_buffer",
+                owner=f"p{param.unique_id}",
+            )
+
+    def _account_release(self, param: Parameter) -> None:
+        scope = get_memscope()
+        if scope.enabled:
+            scope.free(
+                "gpu",
+                self._gather_bytes(param.zero_meta),
+                category="gather_buffer",
+                owner=f"p{param.unique_id}",
+            )
 
     # --- partition -------------------------------------------------------------
     def partition(self, param: Parameter) -> None:
@@ -130,7 +156,7 @@ class ParameterPartitioner:
             owner: Optional[int] = None
             for rank in range(self.world_size):
                 lo, hi = partition_bounds(numel, self.world_size, rank)
-                shard = np.zeros(shard_numel, dtype=flat.dtype)
+                shard = np.zeros(shard_numel, dtype=flat.dtype)  # lint: allow-rawalloc
                 if hi > lo:
                     shard[: hi - lo] = flat[lo:hi]
                 self.offload.stash(
@@ -142,7 +168,7 @@ class ParameterPartitioner:
         else:
             owner = self._owner_rr % self.world_size
             self._owner_rr += 1
-            padded_full = np.zeros(padded, dtype=flat.dtype)
+            padded_full = np.zeros(padded, dtype=flat.dtype)  # lint: allow-rawalloc
             padded_full[:numel] = flat
             self.offload.stash(
                 self._key(param, owner, "param16"),
@@ -197,6 +223,7 @@ class ParameterPartitioner:
             )[0]
         param.data = gathered[: meta.full_numel].reshape(meta.full_shape)
         param.state = PartitionState.AVAILABLE
+        self._account_gather(param)
         if san is not None:
             san.on_gather_end(param)
 
@@ -206,7 +233,21 @@ class ParameterPartitioner:
         demand, never shrunk — no fresh allocation per collective)."""
         out = self._coalesce_out.get(dtype)
         if out is None or out.size < block * self.world_size:
-            out = np.empty(block * self.world_size, dtype=dtype)
+            scope = get_memscope()
+            if scope.enabled and out is not None:
+                scope.free(
+                    "gpu",
+                    out.nbytes,
+                    category="gather_buffer",
+                    owner="coalesce.staging",
+                )
+            out = attributed_empty(
+                block * self.world_size,
+                dtype,
+                tier="gpu",
+                category="gather_buffer",
+                owner="coalesce.staging",
+            )
             self._coalesce_out[dtype] = out
         return out
 
@@ -279,7 +320,13 @@ class ParameterPartitioner:
         off = 0
         for p, m in zip(group, metas):
             sh = m.shard_numel
-            flat = np.empty(m.padded_numel, dtype=dtype)
+            flat = attributed_empty(
+                m.padded_numel,
+                dtype,
+                tier="gpu",
+                category="gather_buffer",
+                owner=f"p{p.unique_id}",
+            )
             for r in range(world):
                 flat[r * sh : (r + 1) * sh] = full[r * block + off : r * block + off + sh]
             p.data = flat[: m.full_numel].reshape(m.full_shape)
@@ -321,6 +368,7 @@ class ParameterPartitioner:
         san = self._zerosan()
         if san is not None:
             san.on_release(param)
+        self._account_release(param)
         param.data = self._released_data(param, param.zero_meta.np_dtype)
         param.state = PartitionState.PARTITIONED
 
@@ -367,6 +415,10 @@ class ParameterPartitioner:
         meta: ZeroParamMeta = param.zero_meta
         if meta is None:
             return
+        if param.state is PartitionState.AVAILABLE:
+            # a gathered copy is being dropped along with the shards
+            # (memory-centric tiling replaces the parameter wholesale)
+            self._account_release(param)
         ranks = (
             range(meta.world_size) if meta.owner_rank is None else [meta.owner_rank]
         )

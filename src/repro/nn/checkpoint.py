@@ -18,11 +18,13 @@ re-gathers parameters for recomputation exactly as the paper describes
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.obs.memscope import mem_alloc, mem_free
 
 
 class ActivationOffloader:
@@ -31,11 +33,16 @@ class ActivationOffloader:
     The default implementation copies into a CPU-tagged ledger-accounted
     buffer; the performance simulator charges PCIe time for the same bytes.
     Subclass / replace ``save`` and ``load`` to spill further (e.g. NVMe,
-    mentioned as future work for the 20T case in Sec. 8.2).
+    mentioned as future work for the 20T case in Sec. 8.2), and
+    ``discard`` so exception unwind can drop a saved-but-never-restored
+    checkpoint without inflating the ledger watermark.
     """
+
+    _ids = itertools.count()
 
     def __init__(self, ledger=None) -> None:
         self.ledger = ledger
+        self.owner = f"actckpt.{next(self._ids)}"
         self.bytes_offloaded = 0
         self.bytes_restored = 0
 
@@ -44,7 +51,12 @@ class ActivationOffloader:
 
         self.bytes_offloaded += array.nbytes
         if self.ledger is not None:
-            self.ledger.allocate(CPU, array.nbytes)
+            self.ledger.allocate(
+                CPU, array.nbytes, category="activation_ckpt", owner=self.owner
+            )
+        mem_alloc(
+            "cpu", array.nbytes, category="activation_ckpt", owner=self.owner
+        )
         return array.copy()
 
     def load(self, handle: object) -> np.ndarray:
@@ -53,8 +65,26 @@ class ActivationOffloader:
         array = handle  # type: ignore[assignment]
         self.bytes_restored += array.nbytes
         if self.ledger is not None:
-            self.ledger.free(CPU, array.nbytes)
+            self.ledger.free(
+                CPU, array.nbytes, category="activation_ckpt", owner=self.owner
+            )
+        mem_free(
+            "cpu", array.nbytes, category="activation_ckpt", owner=self.owner
+        )
         return array
+
+    def discard(self, handle: object) -> None:
+        """Drop a saved checkpoint without restoring it (abort unwind)."""
+        from repro.tensor.device import CPU
+
+        array = handle  # type: ignore[assignment]
+        if self.ledger is not None:
+            self.ledger.free(
+                CPU, array.nbytes, category="activation_ckpt", owner=self.owner
+            )
+        mem_free(
+            "cpu", array.nbytes, category="activation_ckpt", owner=self.owner
+        )
 
 
 class CheckpointedBlock(Module):
@@ -93,3 +123,19 @@ class CheckpointedBlock(Module):
         # Recompute: a second forward that repopulates the inner caches.
         self.inner(x)
         return self.inner.backward(grad)
+
+    def discard_checkpoint(self) -> None:
+        """Drop a checkpoint left behind by an aborted step.
+
+        A forward that saves a checkpoint and then raises (or whose step
+        is abandoned before backward) would otherwise leak the offloaded
+        bytes forever — inflating ledger and memscope watermarks across
+        every subsequent step.  The engine routes this through the
+        ``coordinator.abort_step`` unwind, mirroring the PR 3 boundary
+        sweep.
+        """
+        if self._checkpoint is None:
+            return
+        handle, self._checkpoint = self._checkpoint, None
+        if self.offloader is not None:
+            self.offloader.discard(handle)

@@ -20,7 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.check.runtime import CheckContext, get_checker
+from repro.obs.memscope import mem_alloc, mem_free
 from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_counter
 
 
 class PinnedBudgetExceeded(MemoryError):
@@ -135,7 +137,14 @@ class PinnedBufferPool:
                     self.stats.peak_bytes = max(
                         self.stats.peak_bytes, self._live_bytes + self._cached_bytes
                     )
-                    self._m_occupancy.set(self._live_bytes + self._cached_bytes)
+                    occ = self._live_bytes + self._cached_bytes
+                    self._m_occupancy.set(occ)
+                    trace_counter(
+                        "nvme.pinned_pool_bytes",
+                        cat="nvme",
+                        live=self._live_bytes,
+                        total=occ,
+                    )
                     return PinnedBuffer(buf, numel, dtype, self)
             # Evict cached buffers (smallest first) until the new allocation fits.
             while (
@@ -144,18 +153,24 @@ class PinnedBufferPool:
             ):
                 evicted = self._free.pop(0)
                 self._cached_bytes -= evicted.nbytes
+                mem_free("pinned", evicted.nbytes, category="pinned", owner="pool")
             if self._live_bytes + want > self.budget_bytes:
                 raise PinnedBudgetExceeded(
                     f"request for {want} bytes exceeds pinned budget"
                     f" ({self._live_bytes} live of {self.budget_bytes})"
                 )
-            storage = np.empty(want, dtype=np.uint8)
+            storage = np.empty(want, dtype=np.uint8)  # lint: allow-rawalloc
+            mem_alloc("pinned", want, category="pinned", owner="pool")
             self._live_bytes += want
             self.stats.acquisitions += 1
             self.stats.peak_bytes = max(
                 self.stats.peak_bytes, self._live_bytes + self._cached_bytes
             )
-            self._m_occupancy.set(self._live_bytes + self._cached_bytes)
+            occ = self._live_bytes + self._cached_bytes
+            self._m_occupancy.set(occ)
+            trace_counter(
+                "nvme.pinned_pool_bytes", cat="nvme", live=self._live_bytes, total=occ
+            )
             return PinnedBuffer(storage, numel, dtype, self)
 
     def _give_back(self, storage: np.ndarray) -> None:
@@ -180,6 +195,16 @@ class PinnedBufferPool:
     def drain(self) -> None:
         """Drop all cached buffers (frees their memory)."""
         with self._lock:
+            if self._cached_bytes:
+                mem_free(
+                    "pinned", self._cached_bytes, category="pinned", owner="pool"
+                )
             self._free.clear()
             self._cached_bytes = 0
             self._m_occupancy.set(self._live_bytes)
+            trace_counter(
+                "nvme.pinned_pool_bytes",
+                cat="nvme",
+                live=self._live_bytes,
+                total=self._live_bytes,
+            )

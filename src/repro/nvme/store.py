@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.nvme.aio import AsyncIOEngine, IORequest
 from repro.nvme.buffers import PinnedBufferPool
+from repro.obs.memscope import attribution_for_key, get_memscope
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +109,14 @@ class TensorStore:
                 with open(path, "wb"):
                     pass
             self._records[key] = rec
+        scope = get_memscope()
+        if scope.enabled:  # residency delta on the nvme tier
+            category, owner = attribution_for_key(key)
+            if old is not None:
+                scope.free(
+                    "nvme", old.nbytes, category=category, owner=owner
+                )
+            scope.alloc("nvme", rec.nbytes, category=category, owner=owner)
         return self.engine.submit_write(path, arr)
 
     # --- read ------------------------------------------------------------------
@@ -132,7 +141,7 @@ class TensorStore:
             except KeyError as e:
                 raise KeyError(f"tensor {key!r} not in store") from e
         if out is None:
-            out = np.empty(rec.shape, dtype=rec.dtype)
+            out = np.empty(rec.shape, dtype=rec.dtype)  # lint: allow-rawalloc
         else:
             if out.nbytes != rec.nbytes:
                 raise ValueError(
@@ -164,7 +173,7 @@ class TensorStore:
                 f" for {key!r} with {total} elements"
             )
         if out is None:
-            out = np.empty(numel, dtype=rec.dtype)
+            out = np.empty(numel, dtype=rec.dtype)  # lint: allow-rawalloc
         elif out.dtype != rec.dtype or out.size != numel:
             raise ValueError("range read target has wrong dtype or size")
         req = self.engine.submit_read(
@@ -193,13 +202,24 @@ class TensorStore:
     def delete(self, key: str) -> None:
         with self._lock:
             rec = self._records.pop(key, None)
-        if rec is not None and os.path.exists(rec.path):
-            os.remove(rec.path)
+        if rec is not None:
+            scope = get_memscope()
+            if scope.enabled:
+                category, owner = attribution_for_key(key)
+                scope.free("nvme", rec.nbytes, category=category, owner=owner)
+            if os.path.exists(rec.path):
+                os.remove(rec.path)
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        scope = get_memscope()
+        if scope.enabled:
+            with self._lock:
+                for key, rec in self._records.items():
+                    category, owner = attribution_for_key(key)
+                    scope.free("nvme", rec.nbytes, category=category, owner=owner)
         if self._own_engine:
             self.engine.close()
         else:
@@ -259,7 +279,7 @@ class ChunkedSwapper:
             if self.pool is not None:
                 buf = self.pool.acquire(n, rec.dtype)
                 return buf.array, buf
-            return np.empty(n, dtype=rec.dtype), None
+            return np.empty(n, dtype=rec.dtype), None  # lint: allow-rawalloc
 
         # Prime: issue read of chunk 0.
         pending_write: Optional[IORequest] = None

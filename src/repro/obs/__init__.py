@@ -8,7 +8,11 @@ its own timeline in :mod:`repro.sim`).  Three pieces:
 * :mod:`repro.obs.metrics` — a global registry of counters, gauges and
   histograms every layer aggregates into;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSONL, and
-  ASCII summary exporters.
+  ASCII summary exporters;
+* :mod:`repro.obs.memscope` — a live per-tier byte ledger with owner
+  attribution, watermark timelines and an ASCII memory gantt;
+* :mod:`repro.obs.memreport` — measured-vs-analytic-model drift reports
+  (Eqs. 1-5) with tuning recommendations.
 
 Typical use::
 
@@ -25,10 +29,33 @@ from repro.obs.tracer import (
     Tracer,
     get_tracer,
     set_tracer,
+    trace_counter,
     trace_instant,
     trace_span,
     tracing_enabled,
     use_tracer,
+)
+from repro.obs.memscope import (
+    CATEGORIES,
+    TIERS,
+    MemScope,
+    WatermarkSample,
+    attributed_empty,
+    attributed_zeros,
+    attribution_for_key,
+    get_memscope,
+    mem_alloc,
+    mem_free,
+    mem_sample,
+    memscope_enabled,
+    render_memory_gantt,
+    set_memscope,
+    use_memscope,
+)
+from repro.obs.memreport import (
+    DriftRow,
+    MemReport,
+    build_memreport,
 )
 from repro.obs.metrics import (
     Counter,
@@ -52,10 +79,29 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "set_tracer",
+    "trace_counter",
     "trace_instant",
     "trace_span",
     "tracing_enabled",
     "use_tracer",
+    "CATEGORIES",
+    "TIERS",
+    "MemScope",
+    "WatermarkSample",
+    "attributed_empty",
+    "attributed_zeros",
+    "attribution_for_key",
+    "get_memscope",
+    "mem_alloc",
+    "mem_free",
+    "mem_sample",
+    "memscope_enabled",
+    "render_memory_gantt",
+    "set_memscope",
+    "use_memscope",
+    "DriftRow",
+    "MemReport",
+    "build_memreport",
     "Counter",
     "Gauge",
     "Histogram",

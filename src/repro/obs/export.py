@@ -66,7 +66,12 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
         }
         if r.args:
             ev["args"] = dict(r.args)
-        if r.instant:
+        if r.counter:
+            # counter tracks are process-scoped: drop the lane id so
+            # Perfetto renders one track per name, series from args
+            ev.pop("tid", None)
+            ev["ph"] = "C"
+        elif r.instant:
             ev["ph"] = "i"
             ev["s"] = "t"  # thread-scoped instant
         else:
@@ -182,6 +187,8 @@ def telemetry_summary(
     if tracer is not None:
         by_cat: dict[str, tuple[int, float]] = {}
         for r in tracer.records():
+            if r.counter:  # counter samples carry no duration
+                continue
             n, total = by_cat.get(r.cat, (0, 0.0))
             by_cat[r.cat] = (n + 1, total + r.dur_us)
         t = Table(

@@ -25,6 +25,7 @@ import gc
 import time
 from dataclasses import dataclass
 
+from repro.obs.memscope import MemScope, mem_alloc, use_memscope
 from repro.obs.tracer import Tracer, trace_span, use_tracer
 
 
@@ -78,6 +79,124 @@ def _per_call_cost(calls: int, *, enabled: bool) -> float:
                 pass
         elapsed = time.perf_counter() - t0
     return elapsed / calls
+
+
+@dataclass
+class MemScopeOverheadReport:
+    """What the memory ledger costs on one engine step."""
+
+    step_disabled_s: float  # min step time, memscope disabled
+    step_enabled_s: float  # min step time, memscope enabled
+    ops_per_step: int  # alloc/free/sample calls one scoped step makes
+    noop_call_s: float  # per-call cost of a disabled mem_alloc
+    op_call_s: float  # per-call cost of an enabled alloc (attribution incl.)
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Modeled no-op overhead fraction of the disabled step time."""
+        return self.ops_per_step * self.noop_call_s / self.step_disabled_s
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Measured enabled-memscope overhead fraction."""
+        return self.step_enabled_s / self.step_disabled_s - 1.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"step (memscope off): {self.step_disabled_s * 1e3:8.2f} ms",
+                f"step (memscope on):  {self.step_enabled_s * 1e3:8.2f} ms",
+                f"ledger ops per step: {self.ops_per_step:8d}",
+                f"no-op ledger call:   {self.noop_call_s * 1e9:8.1f} ns",
+                f"enabled ledger call: {self.op_call_s * 1e9:8.1f} ns",
+                f"disabled overhead:   {self.disabled_overhead:8.3%}",
+                f"enabled overhead:    {self.enabled_overhead:8.3%}",
+            ]
+        )
+
+
+def _per_memop_cost(calls: int, *, enabled: bool) -> float:
+    """Seconds per mem_alloc() call against a fresh global scope."""
+    scope = MemScope(enabled=enabled)
+    with use_memscope(scope):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            mem_alloc("gpu", 1024, category="workspace", owner="bench")
+        elapsed = time.perf_counter() - t0
+    return elapsed / calls
+
+
+def measure_memscope_overhead(
+    *,
+    reps: int = 7,
+    hidden_dim: int = 160,
+    num_layers: int = 2,
+    world_size: int = 2,
+    micro_calls: int = 20_000,
+) -> MemScopeOverheadReport:
+    """Run a small CPU-offloaded engine step with memscope off and on.
+
+    Same protocol as :func:`measure_overhead`: the disabled path is
+    modeled (per-call no-op cost x ledger ops per step, from
+    :attr:`MemScope.op_count`), the enabled path is measured interleaved
+    with GC off.
+    """
+    from repro.core.config import OffloadConfig, OffloadDevice, ZeroConfig
+    from repro.nn import GPTModel, TransformerConfig
+    from repro.core.engine import ZeroInfinityEngine
+    from repro.utils.rng import seeded_rng
+
+    model_cfg = TransformerConfig(
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        num_heads=4,
+        vocab_size=128,
+        max_seq=32,
+    )
+    zero_cfg = ZeroConfig(
+        world_size=world_size,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.CPU,
+            grad_device=OffloadDevice.CPU,
+            optimizer_device=OffloadDevice.CPU,
+        ),
+        loss_scale=1.0,
+    )
+    rng = seeded_rng(3)
+    batches = [
+        (rng.integers(0, 128, (2, 32)), rng.integers(0, 128, (2, 32)))
+        for _ in range(world_size)
+    ]
+    with ZeroInfinityEngine(
+        zero_cfg, model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0))
+    ) as engine:
+        step = lambda: engine.train_step(batches)  # noqa: E731
+        step()  # warm-up: caches primed, buffers allocated
+        scope = MemScope(enabled=True)
+        with use_memscope(scope):
+            step()
+            ops_per_step = scope.op_count
+        disabled_s = enabled_s = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                gc.collect()
+                disabled_s = min(disabled_s, _timed(step))
+                gc.collect()
+                with use_memscope(scope):
+                    enabled_s = min(enabled_s, _timed(step))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    return MemScopeOverheadReport(
+        step_disabled_s=disabled_s,
+        step_enabled_s=enabled_s,
+        ops_per_step=ops_per_step,
+        noop_call_s=_per_memop_cost(micro_calls, enabled=False),
+        op_call_s=_per_memop_cost(micro_calls, enabled=True),
+    )
 
 
 def measure_overhead(

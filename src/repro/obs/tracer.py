@@ -46,6 +46,7 @@ class SpanRecord:
     thread: str  # thread name at record time
     args: dict = field(default_factory=dict)
     instant: bool = False
+    counter: bool = False  # Chrome counter-track sample ("C" event)
 
 
 class _NoopSpan:
@@ -147,13 +148,33 @@ class Tracer:
         now = time.perf_counter_ns()
         self._append(name, cat, args, now, now, instant=True)
 
+    def counter(self, name: str, *, cat: str = "counter", **values) -> None:
+        """Record one sample on a Chrome counter track; no-op when disabled.
+
+        ``values`` are the track's series (e.g. ``gpu=…, cpu=…``); each
+        distinct ``name`` renders as its own counter track in Perfetto,
+        aligned with the span lanes.
+        """
+        if not self._enabled:
+            return
+        now = time.perf_counter_ns()
+        self._append(name, cat, values, now, now, counter=True)
+
     def _commit(self, name: str, cat: str, args: dict, t0: int, t1: int) -> None:
         if not self._enabled:  # disabled mid-span: drop silently
             return
         self._append(name, cat, args, t0, t1)
 
     def _append(
-        self, name: str, cat: str, args: dict, t0: int, t1: int, *, instant: bool = False
+        self,
+        name: str,
+        cat: str,
+        args: dict,
+        t0: int,
+        t1: int,
+        *,
+        instant: bool = False,
+        counter: bool = False,
     ) -> None:
         tls = self._tls
         try:
@@ -177,6 +198,7 @@ class Tracer:
             thread_name,
             args,
             instant,
+            counter,
         )
         with self._lock:
             if len(self._records) >= self.max_spans:
@@ -247,6 +269,13 @@ def trace_instant(name: str, *, cat: str = "misc", **args) -> None:
     t = _global_tracer
     if t._enabled:
         t.instant(name, cat=cat, **args)
+
+
+def trace_counter(name: str, *, cat: str = "counter", **values) -> None:
+    """Counter-track sample on the global tracer — the hot-path one-liner."""
+    t = _global_tracer
+    if t._enabled:
+        t.counter(name, cat=cat, **values)
 
 
 def tracing_enabled() -> bool:

@@ -250,7 +250,7 @@ class TestChromeTraceExport:
         tracer, _ = traced_run
         last: dict[int, float] = {}
         for e in chrome_trace_events(tracer):
-            if e["ph"] == "M":
+            if e["ph"] in ("M", "C"):  # counter tracks are process-scoped
                 continue
             assert e["ts"] >= last.get(e["tid"], 0.0)
             last[e["tid"]] = e["ts"]
@@ -259,7 +259,7 @@ class TestChromeTraceExport:
     def test_events_are_complete_and_balanced(self, traced_run):
         tracer, _ = traced_run
         for e in chrome_trace_events(tracer):
-            assert e["ph"] in ("X", "M", "i")  # no unbalanced B/E pairs
+            assert e["ph"] in ("X", "M", "i", "C")  # no unbalanced B/E pairs
             if e["ph"] == "X":
                 assert e["dur"] >= 0.0
             if e["ph"] == "i":
