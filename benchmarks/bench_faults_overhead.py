@@ -1,0 +1,60 @@
+"""Fault-plane overhead contract: injection compiled out costs < 2% of a step.
+
+:mod:`repro.faults` leaves its event sites compiled into the storage hot
+path — every aio block read/write, every spool commit, every pinned
+acquisition, every rank dispatch.  The deal is the one the tracer and the
+checker struck before it (``bench_obs_overhead.py``,
+``bench_check_overhead.py``): with no plane installed, each site pays one
+module-global load plus an ``is None`` test and nothing else.  This bench
+measures that gate, counts the events a real offloaded step dispatches,
+and *asserts* the contract (measurement model in
+:mod:`repro.faults.overhead`).  The machine-readable result lands in
+``BENCH_faults.json`` at the repo root.
+
+``tests/test_chaos.py`` proves armed runs recover; this bench proves
+disarmed runs are free.
+"""
+
+import json
+import os
+
+from repro.faults.overhead import measure_faults_overhead
+
+DISABLED_BUDGET = 0.02  # compiled-in fault sites must be invisible
+ENABLED_BUDGET = 0.50  # an armed (but quiet) plane may tax this much
+ATTEMPTS = 3  # timing on loaded CI boxes flakes; a regression fails all
+
+
+def test_faults_overhead_contract(emit, benchmark):
+    report = benchmark.pedantic(measure_faults_overhead, rounds=1, iterations=1)
+    for _ in range(ATTEMPTS - 1):
+        if (
+            report.disabled_overhead < DISABLED_BUDGET
+            and report.enabled_overhead < ENABLED_BUDGET
+        ):
+            break
+        report = measure_faults_overhead()
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_faults.json",
+    )
+    with open(path, "w") as f:
+        json.dump(
+            {
+                "step_disabled_s": report.step_disabled_s,
+                "step_enabled_s": report.step_enabled_s,
+                "events_per_step": report.events_per_step,
+                "noop_gate_s": report.noop_gate_s,
+                "disabled_overhead": report.disabled_overhead,
+                "enabled_overhead": report.enabled_overhead,
+                "disabled_budget": DISABLED_BUDGET,
+                "enabled_budget": ENABLED_BUDGET,
+            },
+            f,
+            indent=2,
+        )
+        f.write("\n")
+    emit("BENCH_faults", report.render())
+    assert report.events_per_step > 50, report.render()  # a real I/O step
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()

@@ -43,6 +43,13 @@ runtime passes rely on:
     ``attributed_empty`` / ``attributed_zeros``; transient temps carry a
     same-line ``# lint: allow-rawalloc``.
 
+``swallowed-oserror``
+    I/O modules (``repro/nvme/``, the offload engine, checkpoint I/O) must
+    not swallow ``OSError``/``IOError`` with an empty handler — a device
+    error silently dropped on the offload path is silent training
+    corruption.  Handle it (retry, count, degrade — see
+    :mod:`repro.faults`) or let it propagate to a recovery tier.
+
 A finding can be suppressed with a same-line ``# lint: allow-<rule>``
 comment; pre-existing debt is pinned in ``tools/lint_baseline.json`` so
 only *new* violations fail CI.
@@ -63,6 +70,7 @@ RULES: tuple[str, ...] = (
     "float64-upcast",
     "writeable-flip",
     "rawalloc",
+    "swallowed-oserror",
 )
 
 #: Packages whose numerics must be deterministic and clock-free.
@@ -127,6 +135,21 @@ RNG_CONSTRUCTORS: frozenset[str] = frozenset(
     {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
 )
 
+#: Modules on the storage path where a swallowed OSError is silent
+#: corruption: every device error must be retried, counted, or propagated.
+IO_MODULES_PREFIXES: tuple[str, ...] = ("repro/nvme/",)
+IO_MODULES: frozenset[str] = frozenset(
+    {
+        "repro/core/offload.py",
+        "repro/core/checkpoint_io.py",
+    }
+)
+
+#: Exception names an empty handler must not absorb in I/O modules.
+_OS_ERROR_NAMES: frozenset[str] = frozenset(
+    {"OSError", "IOError", "EnvironmentError"}
+)
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -163,6 +186,9 @@ class _Visitor(ast.NodeVisitor):
         self.numerics = any(self.rel.startswith(p) for p in NUMERICS_PACKAGES)
         self.hot = self.rel in HOT_PATH_MODULES
         self.memscoped = self.rel in MEMSCOPE_MODULES
+        self.io_module = self.rel in IO_MODULES or any(
+            self.rel.startswith(p) for p in IO_MODULES_PREFIXES
+        )
         self._random_aliases: set[str] = set()  # names bound to stdlib random
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
@@ -316,6 +342,45 @@ class _Visitor(ast.NodeVisitor):
                 node.value,
                 "float64-upcast",
                 "dtype=float is float64; hot-path buffers are fp16/fp32",
+            )
+        self.generic_visit(node)
+
+    # --- exception handlers (swallowed OSError in I/O modules) -------------------
+    @staticmethod
+    def _handler_catches_oserror(handler: ast.ExceptHandler) -> bool:
+        exc = handler.type
+        names: list[ast.AST]
+        if exc is None:  # bare except swallows OSError too
+            return True
+        names = list(exc.elts) if isinstance(exc, ast.Tuple) else [exc]
+        for n in names:
+            chain = _attr_chain(n)
+            if chain and chain[-1] in _OS_ERROR_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _handler_body_is_empty(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / bare ellipsis
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if (
+            self.io_module
+            and self._handler_catches_oserror(node)
+            and self._handler_body_is_empty(node)
+        ):
+            self._flag(
+                node,
+                "swallowed-oserror",
+                "empty handler swallows a device error on the storage path"
+                " (silent training corruption); retry, count, degrade, or"
+                " let it reach a recovery tier (see repro.faults)",
             )
         self.generic_visit(node)
 

@@ -212,6 +212,12 @@ def _cmd_train_demo(args) -> int:
         scope_ctx = use_memscope()
     else:
         scope_ctx = contextlib.nullcontext()
+    if getattr(args, "faults", None):
+        from repro.faults import use_faults
+
+        faults_ctx = use_faults(args.faults, seed=args.faults_seed)
+    else:
+        faults_ctx = contextlib.nullcontext()
 
     model_cfg = TransformerConfig(
         num_layers=2,
@@ -236,7 +242,7 @@ def _cmd_train_demo(args) -> int:
         loss_scale=1.0,
         **({"check": check_cfg} if check_cfg is not None else {}),
     )
-    with trace_ctx as tracer, scope_ctx as scope, ZeroInfinityEngine(
+    with trace_ctx as tracer, scope_ctx as scope, faults_ctx as plane, ZeroInfinityEngine(
         zero_cfg,
         model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
         lr=5e-3,
@@ -277,6 +283,16 @@ def _cmd_train_demo(args) -> int:
                 engine, scope, bsz=2 * args.world, seq=16, ci=1
             )
             print("\n" + report.render())
+        if plane is not None:
+            rep = engine.report()
+            print(plane.summary())
+            print(
+                f"recovery: {rep.step_retries} step replay(s),"
+                f" {rep.io_read_retries + rep.io_write_retries} I/O"
+                f" retry(ies), {rep.checksum_refetches} checksum"
+                f" re-fetch(es), {rep.pinned_fallbacks + rep.prefetch_fallbacks}"
+                f" fallback(s)"
+            )
         if engine.check_context is not None:
             print(engine.check_context.summary())
     if check_cfg is not None and check_cfg.lint:
@@ -477,6 +493,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="run checker passes: 'all' or a comma list of"
             " zerosan,collectives,races,lint (violations are recorded and"
             " summarized after the run)",
+        )
+        s.add_argument(
+            "--faults", type=str, default=None, metavar="SPEC",
+            help="chaos run: inject faults from a spec like"
+            " 'io_error@aio.read:times=2;bit_flip@aio.read' (see"
+            " docs/resilience.md); the injection summary prints after"
+            " the run",
+        )
+        s.add_argument(
+            "--faults-seed", type=int, default=0,
+            help="seed for probabilistic fault rules (default 0)",
         )
         s.set_defaults(fn=_cmd_train_demo)
 

@@ -40,6 +40,42 @@ def _safe(name: str) -> str:
     return name.replace(os.sep, "__")
 
 
+def _atomic_save(path: str, array: np.ndarray) -> None:
+    """Write ``array`` to ``path`` via temp-then-rename.
+
+    A writer killed mid-save must never leave a torn ``.npy`` behind: the
+    rename is the commit point, so readers observe either the old complete
+    file or the new complete file (same guarantee the spool gives via
+    ``TensorStore`` atomic commits, see docs/resilience.md).
+    """
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "wb") as f:
+            np.save(f, array)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _atomic_json(path: str, obj: dict) -> None:
+    """Commit a JSON document with the same temp-then-rename discipline.
+
+    The manifest is the checkpoint's root pointer — written last, so a
+    complete manifest implies every shard file it names is complete.
+    """
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "w") as f:
+            json.dump(obj, f, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
 def _param_path(directory: str, name: str, rank: int) -> str:
     return os.path.join(directory, "param", f"{_safe(name)}.r{rank}.npy")
 
@@ -70,12 +106,12 @@ def save_checkpoint(engine: ZeroInfinityEngine, directory: str) -> dict:
                 shard = opt._param_shard_fp32(p, rank).astype(
                     p.data.dtype
                 )  # slice of the replicated tensor
-            np.save(_param_path(directory, name, rank), shard)
+            _atomic_save(_param_path(directory, name, rank), shard)
             ref = opt._refs.get((p.unique_id, rank))
             if ref is not None:
                 for kind in opt.STATE_KINDS:
                     state = engine.offload.fetch(getattr(ref, kind), rank=rank)
-                    np.save(_optim_path(directory, name, rank, kind), state)
+                    _atomic_save(_optim_path(directory, name, rank, kind), state)
 
     manifest = {
         "format_version": FORMAT_VERSION,
@@ -92,8 +128,7 @@ def save_checkpoint(engine: ZeroInfinityEngine, directory: str) -> dict:
         f"{name_by_id[pid]}|{rank}": ref.step
         for (pid, rank), ref in opt._refs.items()
     }
-    with open(os.path.join(directory, MANIFEST), "w") as f:
-        json.dump(manifest, f, indent=2, sort_keys=True)
+    _atomic_json(os.path.join(directory, MANIFEST), manifest)
     return manifest
 
 
@@ -200,12 +235,14 @@ def reshard_checkpoint(
 
         resplit(
             lambda r: np.load(_param_path(src_directory, name, r)),
-            lambda r, shard: np.save(_param_path(dst_directory, name, r), shard),
+            lambda r, shard: _atomic_save(
+                _param_path(dst_directory, name, r), shard
+            ),
         )
         for kind in ("master", "exp_avg", "exp_avg_sq"):
             resplit(
                 lambda r, k=kind: np.load(_optim_path(src_directory, name, r, k)),
-                lambda r, shard, k=kind: np.save(
+                lambda r, shard, k=kind: _atomic_save(
                     _optim_path(dst_directory, name, r, k), shard
                 ),
             )
@@ -220,8 +257,7 @@ def reshard_checkpoint(
     new_manifest = dict(manifest)
     new_manifest["world_size"] = new_world_size
     new_manifest["optimizer_steps"] = new_steps
-    with open(os.path.join(dst_directory, MANIFEST), "w") as f:
-        json.dump(new_manifest, f, indent=2, sort_keys=True)
+    _atomic_json(os.path.join(dst_directory, MANIFEST), new_manifest)
     return new_manifest
 
 

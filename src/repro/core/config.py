@@ -46,6 +46,14 @@ class OffloadConfig:
     pinned_budget_bytes: int = 2 * GB  # pinned staging pool (Sec. 6.3)
     nvme_dir: Optional[str] = None  # spool directory; temp dir when None
     optimizer_chunk_numel: int = 1 << 20  # NVMe optimizer streaming chunk
+    # Resilience (repro.faults, docs/resilience.md): bounded per-block retry
+    # of failed preads/pwrites, CRC verification of every spool fetch, and
+    # write-temp-then-rename spool commits.  Retry backoff advances the
+    # deterministic virtual clock, never the wall clock.
+    io_retries: int = 2
+    io_backoff_us: int = 200
+    verify_checksums: bool = True
+    atomic_spool_commits: bool = True
 
     @property
     def any_nvme(self) -> bool:
@@ -97,6 +105,10 @@ class ZeroConfig:
     # stage3_param_persistence_threshold) — small biases and norms are not
     # worth an allgather each use.  0 partitions everything.
     param_persistence_threshold_numel: int = 0
+    # Step-level recovery (docs/resilience.md): how many times the engine
+    # replays a step whose forward/backward died of a recoverable I/O or
+    # memory fault before giving up.  0 disables replay.
+    step_retries: int = 1
     # Correctness checking (repro.check): which sanitizer passes the engine
     # runs.  All off by default; see docs/checking.md.
     check: CheckConfig = field(default_factory=CheckConfig)
@@ -120,6 +132,8 @@ class ZeroConfig:
             raise ValueError("tile_factor must be >= 1")
         if self.param_persistence_threshold_numel < 0:
             raise ValueError("param_persistence_threshold_numel must be >= 0")
+        if self.step_retries < 0:
+            raise ValueError("step_retries must be >= 0 (0 disables replay)")
 
     def validate(self) -> "ZeroConfig":
         """Reject contradictory option combinations with actionable messages.
@@ -171,6 +185,10 @@ class ZeroConfig:
                 "offload.optimizer_chunk_numel must be positive: it is the"
                 " NVMe streaming granularity of the optimizer step"
             )
+        if off.io_retries < 0:
+            raise ValueError("offload.io_retries must be >= 0 (0 disables)")
+        if off.io_backoff_us < 0:
+            raise ValueError("offload.io_backoff_us must be >= 0")
         return self
 
 

@@ -31,9 +31,11 @@ from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
 from repro.core.offload import InfinityOffloadEngine
 from repro.core.partition import ParameterPartitioner
 from repro.core.prefetch import DynamicPrefetcher
+from repro.faults.runtime import get_faults
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter, PartitionState
 from repro.obs.memscope import get_memscope
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace_span
 from repro.tensor.flat import pad_to_multiple
 
@@ -332,6 +334,11 @@ class ParameterCoordinator:
     def begin_rank(self, rank: int) -> None:
         if not 0 <= rank < self.config.world_size:
             raise ValueError(f"rank {rank} out of range")
+        fp = get_faults()
+        if fp is not None:
+            # straggler injection point: a ``straggler`` rule with rank=N
+            # stalls that simulated rank's turn on the virtual clock
+            fp.on_event("rank.begin", rank=rank)
         self.current_rank = rank
 
     def assert_no_pending(self) -> None:
@@ -373,7 +380,16 @@ class ParameterCoordinator:
         self._pending_grads.clear()
         if self.bucket_store is not None:
             self.bucket_store.reset()
-        self.flush_grad_offload()
+        # Tolerant drain: the handles must complete (their target buffers
+        # are about to be reused) but a failed write is moot mid-abort —
+        # the step is being thrown away, so count it and keep unwinding
+        # instead of masking the root cause with a secondary raise.
+        for handle in self._grad_handles:
+            try:
+                handle.wait()
+            except OSError:
+                get_registry().counter("faults.aborted_writes").inc()
+        self._grad_handles.clear()
         self.accumulating = False
         self._full_grad_accum.clear()
         self._accum_seen.clear()

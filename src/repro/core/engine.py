@@ -34,11 +34,13 @@ from repro.core.partition import ParameterPartitioner
 from repro.core.prefetch import DynamicPrefetcher
 from repro.core.tiling import TiledLinear
 from repro.core.zero_optimizer import ZeroPartitionedAdam
-from repro.hardware.memory import MemoryLedger
+from repro.faults.errors import FaultUnrecoverable
+from repro.faults.runtime import get_faults
+from repro.hardware.memory import AllocationError, MemoryLedger
 from repro.nn.init_context import PartitionedInitContext
 from repro.obs.memscope import get_memscope, mem_sample
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import trace_span
+from repro.obs.tracer import trace_instant, trace_span
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.parameter import PartitionState
@@ -90,6 +92,19 @@ class EngineReport:
     # live memscope when one is enabled, otherwise from ledger/pool/store
     # counters where configured.
     tier_peak_bytes: dict[str, int] = None  # type: ignore[assignment]
+    # Resilience accounting (docs/resilience.md): how often each recovery
+    # tier fired.  All zero on a healthy run.
+    step_retries: int = 0  # engine-level step replays
+    io_read_retries: int = 0  # aio per-block read retries
+    io_write_retries: int = 0  # aio per-block write retries
+    checksum_refetches: int = 0  # CRC mismatches healed by re-read
+    checksum_failures: int = 0  # CRC mismatches that exhausted re-reads
+    pinned_fallbacks: int = 0  # prefetches staged unpinned under pressure
+    prefetch_fallbacks: int = 0  # failed prefetch reads redone sync
+    aborted_commits: int = 0  # atomic spool commits rolled back
+    # Injection counts per fault kind when a fault plane is installed
+    # (empty otherwise) — lets chaos tests assert the schedule actually ran.
+    faults_injected: dict[str, int] = None  # type: ignore[assignment]
 
     @property
     def total_collective_calls(self) -> int:
@@ -292,6 +307,7 @@ class ZeroInfinityEngine:
             self.scaler = StaticLossScaler(config.loss_scale)
         self.steps_taken = 0
         self.steps_skipped = 0
+        self.step_retries_used = 0
 
     # --- training ------------------------------------------------------------------
     def train_step(self, batches: Sequence[tuple[np.ndarray, ...]]) -> StepResult:
@@ -326,7 +342,31 @@ class ZeroInfinityEngine:
             "engine:step", cat="engine",
             step=self.steps_taken, rounds=len(rounds), world=world,
         ):
-            return self._train_step_traced(rounds)
+            # Step replay: the last recovery tier (docs/resilience.md).  A
+            # forward/backward that died of a recoverable I/O or memory
+            # fault has already been unwound by abort_step, so re-running
+            # the same microbatches is bit-identical to a clean first try.
+            # FaultUnrecoverable is deliberately not retried: it marks
+            # state (a part-updated optimizer shard, an unhealable record)
+            # that replay cannot reconstruct.
+            attempt = 0
+            while True:
+                try:
+                    return self._train_step_traced(rounds)
+                except (FaultUnrecoverable, AllocationError):
+                    # a modeled capacity cap is a configuration error, not
+                    # a transient device fault: replaying cannot help
+                    raise
+                except (OSError, MemoryError) as err:
+                    if attempt >= self.config.step_retries:
+                        raise
+                    attempt += 1
+                    self.step_retries_used += 1
+                    get_registry().counter("faults.step_retries").inc()
+                    trace_instant(
+                        "engine:step_retry", cat="engine",
+                        attempt=attempt, error=type(err).__name__,
+                    )
 
     def _train_step_traced(
         self,
@@ -357,17 +397,18 @@ class ZeroInfinityEngine:
             # Unwind cleanly: release gathered params, drop banked grads and
             # bucket contents, drain async writes — so the engine (and any
             # sanitizer shadow state) is step-clean for the caller's retry.
-            self.coordinator.abort_step()
-            ctx = self.check_context
-            if ctx is not None:
-                # record-only sweep: a raised stuck-gather would mask the
-                # propagating root cause
-                ctx.on_step_abort(self.coordinator._params_by_id.keys())
+            self._abort_step_cleanup()
             raise
 
         # grads carry scale * num_rounds; dividing restores the microbatch mean
         grad_scale = scale * len(rounds)
-        overflowed = self.optimizer.grads_overflowed() if scale != 1.0 else False
+        try:
+            overflowed = self.optimizer.grads_overflowed() if scale != 1.0 else False
+        except Exception:
+            # A failed grad-shard fetch here precedes any state mutation:
+            # after cleanup the step is still replayable.
+            self._abort_step_cleanup()
+            raise
         if overflowed:
             self.steps_skipped += 1
             self._drop_grads()
@@ -376,8 +417,24 @@ class ZeroInfinityEngine:
             mem_sample("overflow_skip")
             return StepResult(losses, skipped=True, loss_scale=scale)
 
-        with trace_span("engine:optimizer", cat="engine", scale=grad_scale):
-            self.optimizer.step(grad_scale=grad_scale)
+        try:
+            with trace_span("engine:optimizer", cat="engine", scale=grad_scale):
+                self.optimizer.step(grad_scale=grad_scale)
+        except (FaultUnrecoverable, AllocationError):
+            self._abort_step_cleanup()
+            raise
+        except (OSError, MemoryError) as err:
+            # The optimizer mutates master/exp_avg shards in place as it
+            # streams, so a mid-step fault leaves them part-updated and a
+            # replay would apply Adam twice to the finished chunks.
+            # Escalate to terminal after unwinding.
+            self._abort_step_cleanup()
+            get_registry().counter("faults.step_unrecoverable").inc()
+            raise FaultUnrecoverable(
+                f"optimizer update died mid-stream: {err}",
+                site="engine.optimizer",
+                kind=type(err).__name__,
+            ) from err
         mem_sample("optimizer_step")
         self.scaler.update(False)
         self._drop_grads()
@@ -385,6 +442,17 @@ class ZeroInfinityEngine:
         self._on_step_boundary()
         mem_sample("step_end")
         return StepResult(losses, skipped=False, loss_scale=scale)
+
+    def _abort_step_cleanup(self) -> None:
+        """Unwind an aborted step so a replay starts from a clean slate."""
+        self.coordinator.abort_step()
+        ctx = self.check_context
+        if ctx is not None:
+            # record-only sweep: a raised stuck-gather would mask the
+            # propagating root cause
+            ctx.on_step_abort(self.coordinator._params_by_id.keys())
+        # stale grads from a partial backward must not leak into the replay
+        self._drop_grads()
 
     def _discard_pending_checkpoints(self) -> None:
         for block in self._ckpt_blocks:
@@ -471,6 +539,11 @@ class ZeroInfinityEngine:
             ),
             f"  steps: {self.steps_taken} taken, {self.steps_skipped} skipped",
         ]
+        if self.step_retries_used or get_faults() is not None:
+            lines.append(
+                f"  resilience: {self.step_retries_used} step replay(s),"
+                f" {self.config.step_retries} allowed per step"
+            )
         if self.prefetcher is not None:
             s = self.prefetcher.stats()
             lines.append(
@@ -485,6 +558,8 @@ class ZeroInfinityEngine:
         return self.offload.bytes_by_kind()
 
     def report(self) -> EngineReport:
+        store = self.offload.store
+        plane = get_faults()
         return EngineReport(
             comm_bytes_by_op=dict(self.comm.stats.bytes_by_op),
             host_link_bytes=dict(self.offload.counters.host_link_bytes),
@@ -520,6 +595,27 @@ class ZeroInfinityEngine:
                 else 0
             ),
             tier_peak_bytes=self._tier_peak_bytes(),
+            step_retries=self.step_retries_used,
+            io_read_retries=(
+                store.engine.stats.read_retries if store is not None else 0
+            ),
+            io_write_retries=(
+                store.engine.stats.write_retries if store is not None else 0
+            ),
+            checksum_refetches=(
+                store.checksum_refetches if store is not None else 0
+            ),
+            checksum_failures=(
+                store.checksum_failures if store is not None else 0
+            ),
+            pinned_fallbacks=self.offload.counters.pinned_fallbacks,
+            prefetch_fallbacks=self.offload.counters.prefetch_fallbacks,
+            aborted_commits=(
+                store.engine.stats.failed_commits if store is not None else 0
+            ),
+            faults_injected=(
+                plane.injected_by_kind() if plane is not None else {}
+            ),
         )
 
     def _tier_peak_bytes(self) -> dict[str, int]:

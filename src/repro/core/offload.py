@@ -50,6 +50,11 @@ class OffloadCounters:
     cpu_write_bytes: int = 0
     prefetch_hits: int = 0
     prefetch_misses: int = 0
+    # Resilience fallbacks (docs/resilience.md): staged degradations that
+    # keep training going when the async path fails under it.
+    pinned_fallbacks: int = 0  # pool exhausted -> unpinned staging buffer
+    prefetch_fallbacks: int = 0  # prefetch read died -> sync re-read
+    abandoned_prefetch_errors: int = 0  # failed reads drained on overwrite
 
     def add_link(self, rank: int, nbytes: int) -> None:
         self.host_link_bytes[rank] = self.host_link_bytes.get(rank, 0) + nbytes
@@ -90,7 +95,15 @@ class InfinityOffloadEngine:
         self._mem: dict[str, tuple[np.ndarray, object]] = {}
         self.pool = PinnedBufferPool(config.pinned_budget_bytes, check=check)
         self.store: Optional[TensorStore] = (
-            TensorStore(config.nvme_dir, pool=self.pool, check=check)
+            TensorStore(
+                config.nvme_dir,
+                pool=self.pool,
+                check=check,
+                verify_checksums=config.verify_checksums,
+                atomic_commits=config.atomic_spool_commits,
+                io_retries=config.io_retries,
+                io_backoff_us=config.io_backoff_us,
+            )
             if config.any_nvme
             else None
         )
@@ -129,6 +142,23 @@ class InfinityOffloadEngine:
         if old is not None:
             arr, tag = old
             self._ledger_free(tag, arr.nbytes, key)
+
+    def _abandon_inflight(self, inflight: _Inflight) -> None:
+        """Drain a prefetch whose bytes will never be used.
+
+        Called when the key is about to be overwritten or discarded: a
+        failed read is harmless here, but it is still counted (silently
+        swallowing I/O errors is a lint violation in this tree) and the
+        staging pin always returns to the pool.
+        """
+        try:
+            inflight.request.wait()
+        except OSError:
+            self.counters.abandoned_prefetch_errors += 1
+            get_registry().counter("faults.abandoned_prefetch").inc()
+        finally:
+            if inflight.pin is not None:
+                inflight.pin.release()
 
     # --- stash ------------------------------------------------------------------
     def stash(
@@ -178,9 +208,7 @@ class InfinityOffloadEngine:
                 with self._lock:
                     inflight = self._inflight.pop(key, None)
                 if inflight is not None:
-                    inflight.request.wait()
-                    if inflight.pin is not None:
-                        inflight.pin.release()
+                    self._abandon_inflight(inflight)
                 self._drop_mem(key)  # key may migrate tiers
                 self.counters.add_link(rank, arr.nbytes)
                 self.counters.nvme_write_bytes += arr.nbytes
@@ -209,9 +237,7 @@ class InfinityOffloadEngine:
         with self._lock:
             inflight = self._inflight.pop(key, None)
         if inflight is not None:
-            inflight.request.wait()
-            if inflight.pin is not None:
-                inflight.pin.release()
+            self._abandon_inflight(inflight)
         entry = self._mem.get(key)
         if entry is not None:
             stored, tag = entry
@@ -257,8 +283,19 @@ class InfinityOffloadEngine:
                 "offload:swap_in", cat="offload", tier="nvme",
                 prefetched=True, rank=rank,
             ):
-                inflight.request.wait()
-                out = np.array(inflight.buffer, copy=True)
+                try:
+                    inflight.request.wait()
+                    out = np.array(inflight.buffer, copy=True)
+                except OSError:
+                    # Prefetch read died (aio retries already exhausted).
+                    # The spool file is intact — only the staging transfer
+                    # failed — so recover with a synchronous re-read.
+                    if inflight.pin is not None:
+                        inflight.pin.release()
+                        inflight.pin = None
+                    self.counters.prefetch_fallbacks += 1
+                    get_registry().counter("faults.prefetch_fallback").inc()
+                    out = self.store.read(key)
             if inflight.pin is not None:
                 inflight.pin.release()
             self.counters.prefetch_hits += 1
@@ -310,8 +347,18 @@ class InfinityOffloadEngine:
                 "offload:swap_in", cat="offload", tier="nvme",
                 prefetched=True, rank=rank,
             ):
-                inflight.request.wait()
-                np.copyto(dest, inflight.buffer.reshape(-1)[: dest.size])
+                try:
+                    inflight.request.wait()
+                    np.copyto(dest, inflight.buffer.reshape(-1)[: dest.size])
+                except OSError:
+                    # Same recovery as fetch(): sync re-read of the intact
+                    # spool file after a failed prefetch transfer.
+                    if inflight.pin is not None:
+                        inflight.pin.release()
+                        inflight.pin = None
+                    self.counters.prefetch_fallbacks += 1
+                    get_registry().counter("faults.prefetch_fallback").inc()
+                    self.store.read(key, dest)
             if inflight.pin is not None:
                 inflight.pin.release()
             self.counters.prefetch_hits += 1
@@ -372,6 +419,8 @@ class InfinityOffloadEngine:
                 # rather than stalling the prefetch pipeline.
                 pin = None
                 buffer = np.empty(numel, dtype=dtype)  # lint: allow-rawalloc
+                self.counters.pinned_fallbacks += 1
+                get_registry().counter("faults.pinned_fallback").inc()
             target, req = self.store.read_async(key, buffer)
             with self._lock:
                 self._inflight[key] = _Inflight(target, pin, req)
@@ -409,9 +458,7 @@ class InfinityOffloadEngine:
         with self._lock:
             inflight = self._inflight.pop(key, None)
         if inflight is not None:
-            inflight.request.wait()
-            if inflight.pin is not None:
-                inflight.pin.release()
+            self._abandon_inflight(inflight)
         self._drop_mem(key)
         if self.store is not None:
             self.store.delete(key)
@@ -425,9 +472,7 @@ class InfinityOffloadEngine:
             inflight = list(self._inflight.values())
             self._inflight.clear()
         for f in inflight:
-            f.request.wait()
-            if f.pin is not None:
-                f.pin.release()
+            self._abandon_inflight(f)
         if self.store is not None:
             self.store.close()
 

@@ -1,0 +1,161 @@
+"""Fault-plane overhead measurement (the <2%-disabled contract).
+
+Same measurement model as ``repro.check.overhead``: the disabled fast path
+is an attribute load plus an ``is None`` test at each injection site, too
+cheap to resolve by diffing whole steps, so it is modeled as *per-call cost
+x sites hit per step*: microbenchmark the gate, count how many fault events
+one NVMe-offloaded step actually dispatches (via a counting plane), and
+express their product as a fraction of the measured step time.  The
+enabled-but-idle cost (a plane installed whose rules never match) is
+measured directly, interleaved so machine drift hits both configurations
+equally.  ``benchmarks/bench_faults_overhead.py`` turns
+:attr:`disabled_overhead` into the CI guard.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+
+from repro.faults.runtime import FaultPlane, get_faults, use_faults
+
+
+@dataclass
+class FaultsOverheadReport:
+    """What the injection plane costs on one engine step."""
+
+    step_disabled_s: float  # min step time, no plane installed
+    step_enabled_s: float  # min step time, idle plane installed
+    events_per_step: int  # fault-gate events one step dispatches
+    noop_gate_s: float  # per-call cost of the disabled gate
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Modeled disabled-gate overhead fraction of the step time."""
+        return self.events_per_step * self.noop_gate_s / self.step_disabled_s
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Measured overhead fraction with an idle plane installed."""
+        return self.step_enabled_s / self.step_disabled_s - 1.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"step (faults off):   {self.step_disabled_s * 1e3:8.2f} ms",
+                f"step (idle plane):   {self.step_enabled_s * 1e3:8.2f} ms",
+                f"events per step:     {self.events_per_step:8d}",
+                f"disabled gate call:  {self.noop_gate_s * 1e9:8.1f} ns",
+                f"disabled overhead:   {self.disabled_overhead:8.3%}",
+                f"enabled overhead:    {self.enabled_overhead:8.3%}",
+            ]
+        )
+
+
+class _CountingPlane(FaultPlane):
+    """A plane with no rules that counts every site dispatch."""
+
+    def __init__(self) -> None:
+        super().__init__((), seed=0)
+        self.calls = 0
+
+    def on_event(self, site, **kwargs) -> None:  # noqa: D102
+        self.calls += 1
+
+    def corrupt(self, site, buffer, **kwargs) -> bool:  # noqa: D102
+        self.calls += 1
+        return False
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _gate_cost(calls: int) -> float:
+    """Seconds per disabled-plane gate: global load + ``is None`` test."""
+    t0 = time.perf_counter()
+    hits = 0
+    for _ in range(calls):
+        if get_faults() is not None:  # the shape instrumented code uses
+            hits += 1
+    elapsed = time.perf_counter() - t0
+    assert hits in (0, calls)  # keep the loop body live
+    return elapsed / calls
+
+
+def measure_faults_overhead(
+    *,
+    reps: int = 7,
+    hidden_dim: int = 128,
+    num_layers: int = 2,
+    world_size: int = 2,
+    micro_calls: int = 200_000,
+) -> FaultsOverheadReport:
+    """Run a small NVMe-offloaded engine step with and without a plane.
+
+    NVMe placement matters: the injection sites live on the aio/store/pool
+    hot path, so a resident-tier step would undercount them.
+    """
+    # Local imports: keep ``import repro.faults`` free of the engine stack.
+    from repro.core.config import OffloadConfig, OffloadDevice, ZeroConfig
+    from repro.core.engine import ZeroInfinityEngine
+    from repro.nn import GPTModel, TransformerConfig
+    from repro.utils.rng import seeded_rng
+
+    model_cfg = TransformerConfig(
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        num_heads=4,
+        vocab_size=128,
+        max_seq=32,
+    )
+    cfg = ZeroConfig(
+        world_size=world_size,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.NVME,
+            grad_device=OffloadDevice.NVME,
+            optimizer_device=OffloadDevice.NVME,
+        ),
+        loss_scale=1.0,
+    )
+    rng = seeded_rng(3)
+    batches = [
+        (rng.integers(0, 128, (2, 32)), rng.integers(0, 128, (2, 32)))
+        for _ in range(world_size)
+    ]
+
+    gc_was_enabled = gc.isenabled()
+    disabled_s = enabled_s = float("inf")
+    with ZeroInfinityEngine(
+        cfg, model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0))
+    ) as engine:
+        step = lambda: engine.train_step(batches)  # noqa: E731
+        step()  # warm-up: caches primed, spool files created
+        counting = _CountingPlane()
+        with use_faults(counting):
+            step()
+        events_per_step = max(counting.calls, 1)
+        idle_plane = FaultPlane((), seed=0)
+        # GC disabled while timing (as timeit does) so collection pauses
+        # landing in random reps do not swamp the signal.
+        gc.disable()
+        try:
+            for _ in range(reps):
+                gc.collect()
+                disabled_s = min(disabled_s, _timed(step))
+                gc.collect()
+                with use_faults(idle_plane):
+                    enabled_s = min(enabled_s, _timed(step))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    return FaultsOverheadReport(
+        step_disabled_s=disabled_s,
+        step_enabled_s=enabled_s,
+        events_per_step=events_per_step,
+        noop_gate_s=_gate_cost(micro_calls),
+    )

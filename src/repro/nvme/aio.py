@@ -17,11 +17,15 @@ import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import suppress
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.check.runtime import CheckContext, get_checker
+from repro.faults.retry import RetryPolicy, run_with_retries
+from repro.faults.runtime import get_faults
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace_span
 from repro.utils.units import MIB
@@ -35,6 +39,10 @@ class IOStats:
     bytes_written: int = 0
     read_requests: int = 0
     write_requests: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    commits: int = 0
+    failed_commits: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def add_read(self, nbytes: int) -> None:
@@ -46,6 +54,20 @@ class IOStats:
         with self._lock:
             self.bytes_written += nbytes
             self.write_requests += 1
+
+    def add_retry(self, kind: str) -> None:
+        with self._lock:
+            if kind == "read":
+                self.read_retries += 1
+            else:
+                self.write_retries += 1
+
+    def add_commit(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.commits += 1
+            else:
+                self.failed_commits += 1
 
 
 class IORequest:
@@ -85,6 +107,12 @@ class AsyncIOEngine:
         Worker threads — the analogue of NVMe queue pairs.
     block_bytes:
         Requests larger than this are split into parallel sub-operations.
+    retries:
+        Bounded per-block retry budget on ``OSError`` (transient device
+        faults); backoff advances the deterministic virtual clock, never
+        the wall clock.
+    backoff_us:
+        Base virtual backoff before the first retry (doubles per retry).
     """
 
     def __init__(
@@ -93,6 +121,8 @@ class AsyncIOEngine:
         num_threads: int = 4,
         block_bytes: int = 8 * MIB,
         check: CheckContext | None = None,
+        retries: int = 2,
+        backoff_us: int = 200,
     ) -> None:
         if num_threads <= 0:
             raise ValueError("num_threads must be positive")
@@ -100,6 +130,7 @@ class AsyncIOEngine:
             raise ValueError("block_bytes must be positive")
         self.num_threads = num_threads
         self.block_bytes = block_bytes
+        self.retry_policy = RetryPolicy(attempts=retries, backoff_us=backoff_us)
         self._check = check if check is not None else get_checker()
         self._pool = ThreadPoolExecutor(
             max_workers=num_threads, thread_name_prefix="repro-aio"
@@ -214,12 +245,27 @@ class AsyncIOEngine:
 
     # --- public API ----------------------------------------------------------
     def submit_write(
-        self, path: str, array: np.ndarray, *, file_offset: int = 0
+        self,
+        path: str,
+        array: np.ndarray,
+        *,
+        file_offset: int = 0,
+        commit_to: str | None = None,
+        on_commit: Callable[[], None] | None = None,
+        on_commit_error: Callable[[BaseException], None] | None = None,
     ) -> IORequest:
         """Begin writing ``array``'s bytes to ``path`` at ``file_offset``.
 
         The caller must not mutate ``array`` until the request completes —
         the same contract as real asynchronous I/O on pinned buffers.
+
+        With ``commit_to``, ``path`` is treated as a temporary spool file
+        that is atomically renamed onto ``commit_to`` once every block has
+        landed — a reader of ``commit_to`` sees the old bytes or the new
+        bytes, never a torn mix.  A failed commit unlinks the temp file and
+        surfaces through the request handle like any block failure;
+        ``on_commit``/``on_commit_error`` let the owner (TensorStore)
+        publish or roll back record metadata at the commit point.
         """
         self._require_open()
         data = np.ascontiguousarray(array)
@@ -239,19 +285,109 @@ class AsyncIOEngine:
                 )
                 for o, n in self._split(len(view))
             ]
+            if commit_to is not None:
+                futures = futures + [
+                    self._arm_commit(futures, path, commit_to,
+                                     on_commit, on_commit_error)
+                ]
             self.stats.add_write(len(view))
             req = self._track(IORequest(futures, "write", len(view)))
             return self._watch_races(req, data, path, file_offset)
 
+    def _arm_commit(
+        self,
+        block_futures: list[Future],
+        tmp_path: str,
+        final_path: str,
+        on_commit: Callable[[], None] | None,
+        on_commit_error: Callable[[BaseException], None] | None,
+    ) -> Future:
+        """Future resolving when ``tmp_path`` has been renamed onto
+        ``final_path`` (or failing with the reason the commit did not run).
+
+        The rename fires from the *last* block's completion callback — on
+        a worker thread, never as a pool task — so a full thread pool can
+        never deadlock a commit behind its own blocks.
+        """
+        commit: Future = Future()
+        remaining = [len(block_futures)]
+        lock = threading.Lock()
+
+        def _finish(_f: Future) -> None:
+            with lock:
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            try:
+                for f in block_futures:
+                    f.result()  # a failed block aborts the commit
+                fp = get_faults()
+                if fp is not None:
+                    # the torn-write site: an injected crash lands between
+                    # flush and rename, exactly the window atomic commits
+                    # close — the published record stays the old bytes
+                    fp.on_event("store.commit", key=final_path)
+                os.replace(tmp_path, final_path)
+            except BaseException as e:  # noqa: BLE001 - resolved into future
+                self.stats.add_commit(False)
+                with suppress(OSError):
+                    os.unlink(tmp_path)
+                if on_commit_error is not None:
+                    on_commit_error(e)
+                commit.set_exception(e)
+            else:
+                self.stats.add_commit(True)
+                if on_commit is not None:
+                    on_commit()
+                commit.set_result(None)
+
+        for f in block_futures:
+            f.add_done_callback(_finish)
+        return commit
+
     def _pwrite_block(self, path: str, data: memoryview, offset: int) -> None:
-        """One sub-block write on a worker thread, span on its own lane."""
+        """One sub-block write on a worker thread, span on its own lane.
+
+        Retries transient ``OSError`` failures up to the engine's policy;
+        pwrite at an absolute offset is idempotent, so a retry after a
+        partial write simply rewrites the block.
+        """
         with trace_span("nvme:pwrite", cat="nvme", bytes=len(data)):
-            self._pwrite(path, data, offset)
+
+            def attempt() -> None:
+                fp = get_faults()
+                if fp is not None:
+                    fp.on_event("aio.write", key=path, nbytes=len(data))
+                self._pwrite(path, data, offset)
+
+            run_with_retries(
+                "aio.write", attempt, policy=self.retry_policy, key=path,
+                on_retry=lambda: self.stats.add_retry("write"),
+            )
 
     def _pread_block(self, path: str, out: memoryview, offset: int) -> None:
-        """One sub-block read on a worker thread, span on its own lane."""
+        """One sub-block read on a worker thread, span on its own lane.
+
+        Retries like :meth:`_pwrite_block`.  The bit-flip corruption hook
+        runs *after* a successful read — modeling a transfer-path flip the
+        checksum layer (TensorStore verify-on-fetch) must catch, since no
+        amount of device-level retrying can observe it here.
+        """
         with trace_span("nvme:pread", cat="nvme", bytes=len(out)):
-            self._pread(path, out, offset)
+
+            def attempt() -> None:
+                fp = get_faults()
+                if fp is not None:
+                    fp.on_event("aio.read", key=path, nbytes=len(out))
+                self._pread(path, out, offset)
+
+            run_with_retries(
+                "aio.read", attempt, policy=self.retry_policy, key=path,
+                on_retry=lambda: self.stats.add_retry("read"),
+            )
+            fp = get_faults()
+            if fp is not None:
+                fp.corrupt("aio.read", out, key=path)
 
     def submit_read(
         self, path: str, out: np.ndarray, *, file_offset: int = 0

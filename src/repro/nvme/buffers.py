@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.check.runtime import CheckContext, get_checker
+from repro.faults.runtime import get_faults
 from repro.obs.memscope import mem_alloc, mem_free
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import trace_counter
@@ -125,13 +126,26 @@ class PinnedBufferPool:
         should instead stream in chunks (see ChunkedSwapper).
         """
         want = self._round(int(numel) * np.dtype(dtype).itemsize)
+        fp = get_faults()
         with self._lock:
-            # Best-fit reuse: smallest cached buffer large enough.
+            # Best-fit reuse: smallest cached buffer large enough.  The
+            # cached->live transfer is a reservation: anything that fails
+            # after it (injected exhaustion standing in for a pinned-map
+            # failure) must put it back or the budget drifts.
             for i, buf in enumerate(self._free):
                 if buf.nbytes >= want:
                     self._free.pop(i)
                     self._cached_bytes -= buf.nbytes
                     self._live_bytes += buf.nbytes
+                    try:
+                        if fp is not None:
+                            fp.on_event("pool.acquire", nbytes=want)
+                        handed = PinnedBuffer(buf, numel, dtype, self)
+                    except BaseException:
+                        self._live_bytes -= buf.nbytes
+                        self._cached_bytes += buf.nbytes
+                        self._insert_free(buf)
+                        raise
                     self.stats.acquisitions += 1
                     self.stats.reuse_hits += 1
                     self.stats.peak_bytes = max(
@@ -145,7 +159,7 @@ class PinnedBufferPool:
                         live=self._live_bytes,
                         total=occ,
                     )
-                    return PinnedBuffer(buf, numel, dtype, self)
+                    return handed
             # Evict cached buffers (smallest first) until the new allocation fits.
             while (
                 self._live_bytes + self._cached_bytes + want > self.budget_bytes
@@ -159,9 +173,18 @@ class PinnedBufferPool:
                     f"request for {want} bytes exceeds pinned budget"
                     f" ({self._live_bytes} live of {self.budget_bytes})"
                 )
-            storage = np.empty(want, dtype=np.uint8)  # lint: allow-rawalloc
-            mem_alloc("pinned", want, category="pinned", owner="pool")
+            # Reserve first, then allocate under a rollback guard: a raise
+            # from the allocation (real MemoryError or injected fault) must
+            # not leak the reserved bytes.
             self._live_bytes += want
+            try:
+                if fp is not None:
+                    fp.on_event("pool.acquire", nbytes=want)
+                storage = np.empty(want, dtype=np.uint8)  # lint: allow-rawalloc
+                mem_alloc("pinned", want, category="pinned", owner="pool")
+            except BaseException:
+                self._live_bytes -= want
+                raise
             self.stats.acquisitions += 1
             self.stats.peak_bytes = max(
                 self.stats.peak_bytes, self._live_bytes + self._cached_bytes
@@ -173,6 +196,17 @@ class PinnedBufferPool:
             )
             return PinnedBuffer(storage, numel, dtype, self)
 
+    def _insert_free(self, storage: np.ndarray) -> None:
+        """Sorted (ascending nbytes) insert into the free list; lock held."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].nbytes < storage.nbytes:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, storage)
+
     def _give_back(self, storage: np.ndarray) -> None:
         ck = self._check
         if ck is not None and ck.races is not None:
@@ -182,15 +216,7 @@ class PinnedBufferPool:
         with self._lock:
             self._live_bytes -= storage.nbytes
             self._cached_bytes += storage.nbytes
-            # keep free list sorted ascending by size for best-fit scans
-            lo, hi = 0, len(self._free)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if self._free[mid].nbytes < storage.nbytes:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            self._free.insert(lo, storage)
+            self._insert_free(storage)
 
     def drain(self) -> None:
         """Drop all cached buffers (frees their memory)."""

@@ -19,14 +19,23 @@ import os
 import shutil
 import tempfile
 import threading
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, Optional
 
 import numpy as np
 
+from repro.faults.errors import ChecksumMismatch, FaultUnrecoverable
+from repro.faults.runtime import virtual_clock
 from repro.nvme.aio import AsyncIOEngine, IORequest
 from repro.nvme.buffers import PinnedBufferPool
 from repro.obs.memscope import attribution_for_key, get_memscope
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_instant
+
+
+def _crc32(array: np.ndarray) -> int:
+    return zlib.crc32(memoryview(array).cast("B")) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,6 +44,83 @@ class _Record:
     shape: tuple[int, ...]
     dtype: np.dtype
     nbytes: int
+    # crc32 of the whole record, or None when unknown (ranged writes
+    # invalidate it; verify-on-fetch only runs for whole-record reads)
+    crc: Optional[int] = None
+
+
+class _VerifiedRead:
+    """Read handle that CRC-verifies the record bytes at wait time.
+
+    Wraps the raw :class:`~repro.nvme.aio.IORequest`: a checksum mismatch
+    (bit-flip in the transfer path, torn on-disk state) triggers bounded
+    re-fetches with virtual backoff; persistent corruption escalates to
+    :class:`~repro.faults.errors.FaultUnrecoverable` — never a silently
+    wrong tensor.
+    """
+
+    __slots__ = ("_store", "_key", "_rec", "_out", "_req", "_verified")
+
+    def __init__(
+        self,
+        store: "TensorStore",
+        key: str,
+        rec: _Record,
+        out: np.ndarray,
+        req: IORequest,
+    ) -> None:
+        self._store = store
+        self._key = key
+        self._rec = rec
+        self._out = out
+        self._req = req
+        self._verified = False
+
+    @property
+    def kind(self) -> str:
+        return "read"
+
+    @property
+    def nbytes(self) -> int:
+        return self._req.nbytes
+
+    def done(self) -> bool:
+        return self._req.done()
+
+    def wait(self) -> None:
+        self._req.wait()
+        if self._verified:
+            return
+        expected = self._rec.crc
+        actual = _crc32(self._out)
+        attempts = 0
+        while actual != expected:
+            if attempts >= self._store.refetch_retries:
+                self._store._count_checksum(failure=True)
+                raise FaultUnrecoverable(
+                    f"persistent checksum mismatch reading {self._key!r}",
+                    site="store.read",
+                    kind="checksum",
+                    key=self._key,
+                    attempts=attempts,
+                ) from ChecksumMismatch(
+                    self._key,
+                    expected=expected,
+                    actual=actual,
+                    attempts=attempts,
+                )
+            attempts += 1
+            self._store._count_checksum(failure=False)
+            trace_instant(
+                "faults:checksum_refetch", cat="faults",
+                key=self._key, attempt=attempts,
+            )
+            virtual_clock().advance(
+                self._store.engine.retry_policy.delay_us(attempts - 1)
+            )
+            self._store.engine.submit_read(self._rec.path, self._out).wait()
+            actual = _crc32(self._out)
+        self._verified = True
 
 
 class TensorStore:
@@ -52,16 +138,52 @@ class TensorStore:
         engine: Optional[AsyncIOEngine] = None,
         pool: Optional[PinnedBufferPool] = None,
         check=None,
+        verify_checksums: bool = True,
+        atomic_commits: bool = True,
+        refetch_retries: int = 2,
+        io_retries: int = 2,
+        io_backoff_us: int = 200,
     ) -> None:
+        if refetch_retries < 0:
+            raise ValueError("refetch_retries must be >= 0")
         self._own_dir = directory is None
         self.directory = directory or tempfile.mkdtemp(prefix="repro-nvme-")
         os.makedirs(self.directory, exist_ok=True)
         self._own_engine = engine is None
-        self.engine = engine or AsyncIOEngine(check=check)
+        self.engine = engine or AsyncIOEngine(
+            check=check, retries=io_retries, backoff_us=io_backoff_us
+        )
         self.pool = pool
+        self.verify_checksums = verify_checksums
+        self.atomic_commits = atomic_commits
+        self.refetch_retries = refetch_retries
+        self.checksum_refetches = 0
+        self.checksum_failures = 0
         self._records: dict[str, _Record] = {}
+        self._tmp_seq = 0
         self._lock = threading.Lock()
+        self._write_gates: dict[str, threading.Lock] = {}
         self._closed = False
+
+    def _count_checksum(self, *, failure: bool) -> None:
+        with self._lock:
+            if failure:
+                self.checksum_failures += 1
+            else:
+                self.checksum_refetches += 1
+        name = (
+            "faults.checksum_unrecoverable"
+            if failure
+            else "faults.checksum_refetch"
+        )
+        get_registry().counter(name).inc()
+
+    def _write_gate(self, key: str) -> threading.Lock:
+        with self._lock:
+            gate = self._write_gates.get(key)
+            if gate is None:
+                gate = self._write_gates[key] = threading.Lock()
+        return gate
 
     # --- paths ----------------------------------------------------------------
     def _path_for(self, key: str) -> str:
@@ -98,26 +220,90 @@ class TensorStore:
         self.write_async(key, array).wait()
 
     def write_async(self, key: str, array: np.ndarray) -> IORequest:
-        """Begin persisting ``array``; caller must not mutate it until done."""
+        """Begin persisting ``array``; caller must not mutate it until done.
+
+        With ``atomic_commits`` (the default), bytes land in a temp spool
+        file that is renamed onto the record's path once complete — a
+        writer failure at any point leaves the previously committed bytes
+        readable, and the record metadata rolls back with them.
+        """
         arr = np.ascontiguousarray(array)
         path = self._path_for(key)
-        rec = _Record(path, arr.shape, arr.dtype, int(arr.nbytes))
-        with self._lock:
-            old = self._records.get(key)
-            if old is not None and old.nbytes != rec.nbytes:
-                # shrinkage must truncate, or stale tail bytes would survive
-                with open(path, "wb"):
-                    pass
-            self._records[key] = rec
-        scope = get_memscope()
-        if scope.enabled:  # residency delta on the nvme tier
-            category, owner = attribution_for_key(key)
-            if old is not None:
-                scope.free(
-                    "nvme", old.nbytes, category=category, owner=owner
+        rec = _Record(path, arr.shape, arr.dtype, int(arr.nbytes), _crc32(arr))
+        # Atomic mode serializes the publish->write->rename window per key,
+        # so racing overwrites can never leave the published metadata (and
+        # its crc) describing a different writer's bytes than the rename
+        # that won.  Non-atomic mode keeps the legacy last-write-wins race.
+        gate = self._write_gate(key) if self.atomic_commits else None
+        if gate is not None:
+            gate.acquire()
+        released = [gate is None]
+
+        def _release() -> None:
+            if not released[0]:
+                released[0] = True
+                gate.release()
+
+        try:
+            with self._lock:
+                old = self._records.get(key)
+                if (
+                    not self.atomic_commits
+                    and old is not None
+                    and old.nbytes != rec.nbytes
+                ):
+                    # shrinkage must truncate, or stale tail bytes survive
+                    with open(path, "wb"):
+                        pass
+                self._records[key] = rec
+                self._tmp_seq += 1
+                tmp_seq = self._tmp_seq
+            scope = get_memscope()
+            if scope.enabled:  # residency delta on the nvme tier
+                category, owner = attribution_for_key(key)
+                if old is not None:
+                    scope.free(
+                        "nvme", old.nbytes, category=category, owner=owner
+                    )
+                scope.alloc(
+                    "nvme", rec.nbytes, category=category, owner=owner
                 )
-            scope.alloc("nvme", rec.nbytes, category=category, owner=owner)
-        return self.engine.submit_write(path, arr)
+            if not self.atomic_commits:
+                return self.engine.submit_write(path, arr)
+
+            def rollback(_error: BaseException) -> None:
+                # the rename never happened: the published file still holds
+                # the old bytes, so the metadata must describe the old
+                # record too
+                with self._lock:
+                    if self._records.get(key) is rec:
+                        if old is not None:
+                            self._records[key] = old
+                        else:
+                            self._records.pop(key, None)
+                scope = get_memscope()
+                if scope.enabled:
+                    category, owner = attribution_for_key(key)
+                    scope.free(
+                        "nvme", rec.nbytes, category=category, owner=owner
+                    )
+                    if old is not None:
+                        scope.alloc(
+                            "nvme", old.nbytes, category=category, owner=owner
+                        )
+                get_registry().counter("faults.aborted_commits").inc()
+                _release()
+
+            return self.engine.submit_write(
+                f"{path}.tmp{tmp_seq}",
+                arr,
+                commit_to=path,
+                on_commit=_release,
+                on_commit_error=rollback,
+            )
+        except BaseException:
+            _release()
+            raise
 
     # --- read ------------------------------------------------------------------
     def read(self, key: str, out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -152,7 +338,9 @@ class TensorStore:
                 out = out.view(rec.dtype)
             if tuple(out.shape) != rec.shape:
                 out = out.reshape(rec.shape)
-        req = self.engine.submit_read(rec.path, out)
+        req: IORequest = self.engine.submit_read(rec.path, out)
+        if self.verify_checksums and rec.crc is not None:
+            req = _VerifiedRead(self, key, rec, out, req)
         return out, req
 
     # --- ranged access (chunked optimizer streaming) ---------------------------
@@ -194,9 +382,23 @@ class TensorStore:
                 f"range write [{start_numel}, {start_numel + arr.size}) out of"
                 f" bounds for {key!r} with {total} elements"
             )
+        self.invalidate_checksum(key)  # whole-record crc is now stale
         return self.engine.submit_write(
             rec.path, arr, file_offset=start_numel * rec.dtype.itemsize
         )
+
+    def invalidate_checksum(self, key: str) -> None:
+        """Drop the whole-record CRC after an in-place ranged update.
+
+        Ranged writers (the chunked optimizer stream) mutate the file
+        without rewriting the whole record; until the next full write, a
+        fetch of the key skips verification instead of failing on a CRC
+        that no longer describes the bytes.
+        """
+        with self._lock:
+            rec = self._records.get(key)
+            if rec is not None and rec.crc is not None:
+                self._records[key] = replace(rec, crc=None)
 
     # --- delete / lifecycle --------------------------------------------------------
     def delete(self, key: str) -> None:
@@ -257,6 +459,9 @@ class ChunkedSwapper:
         self.store = store
         self.chunk_numel = chunk_numel
         self.pool = pool
+        # pinned-pressure degradations: how many applies fell back from
+        # pinned double-buffered read-ahead to sync unpinned staging
+        self.sync_fallbacks = 0
 
     def _chunks(self, total: int) -> Iterator[tuple[int, int]]:
         off = 0
@@ -266,7 +471,14 @@ class ChunkedSwapper:
             off += n
 
     def apply(self, key: str, fn: Callable[[np.ndarray], np.ndarray]) -> None:
-        """Stream ``key`` through ``fn`` chunk-by-chunk, in place on disk."""
+        """Stream ``key`` through ``fn`` chunk-by-chunk, in place on disk.
+
+        Gracefully degrades under pinned pressure: if the pool cannot stage
+        a chunk (budget exhausted, transiently or otherwise), the stream
+        falls back to synchronous unpinned staging for the rest of the
+        apply — read-ahead stops, one unpinned chunk lives at a time — so
+        pinned exhaustion costs overlap, never the step.
+        """
         with self.store._lock:
             rec = self.store._records[key]
         total = int(np.prod(rec.shape, dtype=np.int64))
@@ -274,11 +486,24 @@ class ChunkedSwapper:
         spans = list(self._chunks(total))
         if not spans:
             return
+        self.store.invalidate_checksum(key)  # in-place ranged rewrites
+        degraded = False
 
         def acquire(n: int):
-            if self.pool is not None:
-                buf = self.pool.acquire(n, rec.dtype)
-                return buf.array, buf
+            nonlocal degraded
+            if self.pool is not None and not degraded:
+                try:
+                    buf = self.pool.acquire(n, rec.dtype)
+                    return buf.array, buf
+                except MemoryError:
+                    # pinned pool exhausted: degrade async -> sync rather
+                    # than fail the optimizer step
+                    degraded = True
+                    self.sync_fallbacks += 1
+                    get_registry().counter("faults.sync_fallback").inc()
+                    trace_instant(
+                        "faults:sync_fallback", cat="faults", key=key
+                    )
             return np.empty(n, dtype=rec.dtype), None  # lint: allow-rawalloc
 
         # Prime: issue read of chunk 0.
@@ -288,9 +513,10 @@ class ChunkedSwapper:
             rec.path, cur_arr, file_offset=spans[0][0] * itemsize
         )
         for i, (off, n) in enumerate(spans):
-            # Read-ahead next chunk before computing on the current one.
+            # Read-ahead next chunk before computing on the current one
+            # (skipped once degraded: sync mode reads when it computes).
             nxt = None
-            if i + 1 < len(spans):
+            if i + 1 < len(spans) and not degraded:
                 noff, nn = spans[i + 1]
                 nxt_arr, nxt_pin = acquire(nn)
                 nxt_req = self.store.engine.submit_read(
@@ -314,4 +540,10 @@ class ChunkedSwapper:
                 cur_pin.release()
             if nxt is not None:
                 cur_arr, cur_pin, cur_req = nxt
+            elif i + 1 < len(spans):
+                noff, nn = spans[i + 1]
+                cur_arr, cur_pin = acquire(nn)
+                cur_req = self.store.engine.submit_read(
+                    rec.path, cur_arr, file_offset=noff * itemsize
+                )
         self.store.engine.synchronize()

@@ -1,0 +1,27 @@
+"""Bug: a device error on the spool read path vanishes in an empty handler.
+
+The pread fails, the handler swallows it, and the caller consumes a buffer
+of stale (or zero) bytes as if the read succeeded — silent training
+corruption, the exact failure mode the resilience tiers exist to prevent
+(docs/resilience.md).  The ``swallowed-oserror`` lint rule flags any empty
+``except OSError`` handler in the I/O modules; the fix is to retry
+(:func:`repro.faults.retry.run_with_retries`), count and degrade, or let
+the error propagate to a recovery tier.
+
+Static corpus: this file is never imported by the runtime checker harness;
+``tests/test_lint.py`` lints its source as if it lived at ``LINT_AS``.
+"""
+
+import os
+
+LINT_AS = "repro/nvme/broken_reader.py"
+EXPECT = "swallowed-oserror"
+
+
+def read_block(fd: int, nbytes: int, offset: int) -> bytes:
+    data = b""
+    try:
+        data = os.pread(fd, nbytes, offset)
+    except OSError:
+        pass  # <- the bug: caller now treats stale bytes as a good read
+    return data

@@ -5,7 +5,9 @@ must be absorbed by ``tools/lint_baseline.json``; new debt fails here with
 the same report ``python tools/lint_repro.py`` prints.
 """
 
+import importlib.util
 import json
+import pathlib
 import subprocess
 import sys
 
@@ -103,6 +105,62 @@ class TestRules:
         assert rules_of(lint_source(src, "repro/core/x.py")) == [
             "wallclock"
         ]
+
+    def test_swallowed_oserror_in_nvme(self):
+        src = "try:\n    f()\nexcept OSError:\n    pass\n"
+        assert rules_of(lint_source(src, "repro/nvme/aio.py")) == [
+            "swallowed-oserror"
+        ]
+
+    def test_swallowed_oserror_tuple_and_alias(self):
+        src = "try:\n    f()\nexcept (ValueError, IOError):\n    pass\n"
+        assert rules_of(lint_source(src, "repro/core/offload.py")) == [
+            "swallowed-oserror"
+        ]
+
+    def test_swallowed_oserror_bare_except(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert rules_of(lint_source(src, "repro/nvme/store.py")) == [
+            "swallowed-oserror"
+        ]
+
+    def test_swallowed_oserror_handled_body_ok(self):
+        src = (
+            "try:\n    f()\nexcept OSError:\n    count += 1\n"
+        )
+        assert lint_source(src, "repro/nvme/aio.py") == []
+
+    def test_swallowed_oserror_fine_off_io_modules(self):
+        src = "try:\n    f()\nexcept OSError:\n    pass\n"
+        assert lint_source(src, "repro/obs/tracer.py") == []
+
+
+class TestLintCorpus:
+    """Static half of the deliberate-bug corpus (tests/check_corpus/lint/).
+
+    Each snippet declares ``LINT_AS`` (the module path it pretends to live
+    at) and ``EXPECT`` (the rule it must fire); its own source is linted.
+    """
+
+    CORPUS = pathlib.Path(__file__).parent / "check_corpus" / "lint"
+
+    def snippets(self):
+        return sorted(
+            p for p in self.CORPUS.glob("*.py") if p.name != "__init__.py"
+        )
+
+    def test_corpus_is_nonempty(self):
+        assert self.snippets()
+
+    def test_snippets_fire_their_declared_rule(self):
+        for path in self.snippets():
+            spec = importlib.util.spec_from_file_location(
+                f"lint_corpus_{path.stem}", path
+            )
+            mod = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(mod)
+            found = lint_source(path.read_text(), mod.LINT_AS)
+            assert mod.EXPECT in {f.rule for f in found}, path.name
 
 
 class TestBaseline:

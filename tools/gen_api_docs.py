@@ -31,6 +31,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.obs",
     "repro.check",
+    "repro.faults",
     "repro.utils",
 ]
 
