@@ -1,0 +1,40 @@
+"""Run the perf regression gate inside the bench suite.
+
+``tools/perf_gate.py`` is the standalone CLI; this bench reuses its
+comparison logic so every bench run also checks the committed
+``BENCH_*.json`` baselines and persists the comparison table under
+``benchmarks/reports/`` (and thus into ``INDEX.md``).
+
+Only the perfscope baseline is gated here — the memscope measurement is
+already exercised by its own bench, and re-measuring it would double the
+suite's wall-clock for no extra signal.  Run the CLI for the full gate.
+"""
+
+import importlib.util
+import os
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "perf_gate.py",
+)
+_spec = importlib.util.spec_from_file_location("perf_gate", _TOOL)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def test_perf_gate_perfscope(emit, benchmark):
+    baseline = perf_gate._load(
+        os.path.join(perf_gate.REPO_ROOT, "BENCH_perfscope.json")
+    )
+    assert baseline is not None, (
+        "no committed BENCH_perfscope.json — run `python tools/perf_gate.py"
+        " --update` (or the perfscope bench) and commit the result"
+    )
+    measured = benchmark.pedantic(
+        perf_gate.measure_perfscope, rounds=1, iterations=1
+    )
+    rows = perf_gate.gate_rows("perfscope", baseline, measured)
+    emit("perf_gate", perf_gate.render_rows(rows))
+    failures = [r for r in rows if not r[-1]]
+    assert not failures, perf_gate.render_rows(failures)

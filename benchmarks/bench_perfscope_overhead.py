@@ -1,0 +1,57 @@
+"""Perfscope overhead contract: disabled < 2%, enabled < 10% of a step.
+
+:mod:`repro.obs.perfscope` leaves stall-span call sites compiled into the
+wait choke points — demand fetches, pinned-pool eviction, inline bucket
+flushes, optimizer I/O drains, retry loops.  Like the tracer and memscope,
+that is only tenable if the disabled fast path is effectively free, so
+this bench measures both paths on a real engine step and asserts the
+contract (measurement model in :mod:`repro.obs.overhead`).
+``tests/test_perfscope_overhead.py`` enforces the same bound in tier 1;
+the machine-readable result lands in ``BENCH_perfscope.json`` at the repo
+root, which ``tools/perf_gate.py`` compares future runs against.
+"""
+
+import json
+import os
+
+from repro.obs.overhead import measure_perfscope_overhead
+
+DISABLED_BUDGET = 0.02  # always-on stall hooks must be invisible
+ENABLED_BUDGET = 0.10  # live tracing may tax the step this much
+
+
+def test_perfscope_overhead_contract(emit, benchmark):
+    report = benchmark.pedantic(
+        measure_perfscope_overhead, rounds=1, iterations=1
+    )
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_perfscope.json",
+    )
+    with open(path, "w") as f:
+        json.dump(
+            {
+                "step_disabled_s": report.step_disabled_s,
+                "step_enabled_s": report.step_enabled_s,
+                "steps_per_s": report.steps_per_s,
+                "spans_per_step": report.spans_per_step,
+                "stall_ops_per_step": report.stall_ops_per_step,
+                "noop_call_s": report.noop_call_s,
+                "stall_call_s": report.stall_call_s,
+                "ledger_build_s": report.ledger_build_s,
+                "stall_fraction": report.stall_fraction,
+                "overlap_fraction": report.overlap_fraction,
+                "disabled_overhead": report.disabled_overhead,
+                "enabled_overhead": report.enabled_overhead,
+                "disabled_budget": DISABLED_BUDGET,
+                "enabled_budget": ENABLED_BUDGET,
+            },
+            f,
+            indent=2,
+        )
+        f.write("\n")
+    emit("BENCH_perfscope", report.render())
+    assert report.spans_per_step > 50  # the step really is instrumented
+    assert report.residual_us < 1.0, report.render()  # exact accounting
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()

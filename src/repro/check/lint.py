@@ -50,6 +50,16 @@ runtime passes rely on:
     corruption.  Handle it (retry, count, degrade — see
     :mod:`repro.faults`) or let it propagate to a recovery tier.
 
+``untraced-wait``
+    Modules instrumented by the time profiler (engine, coordinator,
+    offload, prefetch, bucket, NVMe aio/store/buffers) must not block in
+    a bare ``time.sleep`` or spin loop — an untraced wait is invisible to
+    :mod:`repro.obs.perfscope`, so the step ledger attributes the lost
+    time to whatever span happens to be open (usually compute) and the
+    stall report under-counts.  Wrap the wait in
+    ``perfscope.stall_span(cause, owner=...)``; a deliberate throttle
+    outside the step path carries ``# lint: allow-untraced-wait``.
+
 A finding can be suppressed with a same-line ``# lint: allow-<rule>``
 comment; pre-existing debt is pinned in ``tools/lint_baseline.json`` so
 only *new* violations fail CI.
@@ -71,6 +81,7 @@ RULES: tuple[str, ...] = (
     "writeable-flip",
     "rawalloc",
     "swallowed-oserror",
+    "untraced-wait",
 )
 
 #: Packages whose numerics must be deterministic and clock-free.
@@ -150,6 +161,21 @@ _OS_ERROR_NAMES: frozenset[str] = frozenset(
     {"OSError", "IOError", "EnvironmentError"}
 )
 
+#: Modules instrumented by repro.obs.perfscope: a blocking wait here must
+#: be wrapped in a ``stall_span`` so the step ledger can attribute it.
+PERFSCOPE_MODULES: frozenset[str] = frozenset(
+    {
+        "repro/core/engine.py",
+        "repro/core/coordinator.py",
+        "repro/core/offload.py",
+        "repro/core/prefetch.py",
+        "repro/core/bucket.py",
+        "repro/nvme/aio.py",
+        "repro/nvme/store.py",
+        "repro/nvme/buffers.py",
+    }
+)
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -189,7 +215,9 @@ class _Visitor(ast.NodeVisitor):
         self.io_module = self.rel in IO_MODULES or any(
             self.rel.startswith(p) for p in IO_MODULES_PREFIXES
         )
+        self.perfscoped = self.rel in PERFSCOPE_MODULES
         self._random_aliases: set[str] = set()  # names bound to stdlib random
+        self._stall_depth = 0  # with stall_span(...) nesting at this node
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -242,9 +270,65 @@ class _Visitor(ast.NodeVisitor):
                         )
         self.generic_visit(node)
 
-    # --- calls (wallclock, rng, float64 astype) ---------------------------------
+    # --- untraced waits (bare sleeps / spin loops off the stall ledger) ----------
+    @staticmethod
+    def _is_stall_with(node: ast.With) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                chain = _attr_chain(expr.func)
+                if chain and chain[-1] == "stall_span":
+                    return True
+        return False
+
+    def _visit_with(self, node) -> None:
+        stall = self._is_stall_with(node)
+        self._stall_depth += stall
+        self.generic_visit(node)
+        self._stall_depth -= stall
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_While(self, node: ast.While) -> None:
+        if (
+            self.perfscoped
+            and self._stall_depth == 0
+            and all(
+                isinstance(stmt, (ast.Pass, ast.Continue))
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+        ):
+            self._flag(
+                node,
+                "untraced-wait",
+                "spin loop in a perfscope-instrumented module is invisible"
+                " to stall attribution; wait inside a"
+                " perfscope.stall_span(cause, owner=...) instead",
+            )
+        self.generic_visit(node)
+
+    # --- calls (wallclock, rng, float64 astype, untraced sleeps) ----------------
     def visit_Call(self, node: ast.Call) -> None:
         chain = _attr_chain(node.func)
+        if (
+            self.perfscoped
+            and self._stall_depth == 0
+            and chain == ["time", "sleep"]
+        ):
+            self._flag(
+                node,
+                "untraced-wait",
+                "bare time.sleep in a perfscope-instrumented module is"
+                " invisible to stall attribution; wrap the wait in"
+                " perfscope.stall_span(cause, owner=...) (or mark a"
+                " deliberate off-step throttle with"
+                " '# lint: allow-untraced-wait')",
+            )
         if self.numerics and chain in (["time", "time"], ["time", "time_ns"]):
             self._flag(
                 node,

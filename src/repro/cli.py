@@ -199,7 +199,9 @@ def _cmd_train_demo(args) -> int:
         per_rank_batches,
     )
 
-    if args.trace:
+    perfreport = getattr(args, "perfreport", False)
+    if args.trace or perfreport:
+        # perfreport post-processes spans, so it implies an enabled tracer
         from repro.obs import use_tracer
 
         trace_ctx = use_tracer()
@@ -281,6 +283,13 @@ def _cmd_train_demo(args) -> int:
 
             report = build_memreport(
                 engine, scope, bsz=2 * args.world, seq=16, ci=1
+            )
+            print("\n" + report.render())
+        if perfreport:
+            from repro.obs import build_perfreport
+
+            report = build_perfreport(
+                engine, tracer, bsz=2 * args.world, seq=16, ci=1
             )
             print("\n" + report.render())
         if plane is not None:
@@ -514,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run with repro.obs.memscope and print per-tier"
         " watermarks, attribution and analytic-model drift",
     )
+    s.add_argument(
+        "--perfreport", action="store_true",
+        help="trace the run with repro.obs.perfscope and print the step"
+        " time ledger, stall attribution, critical path and Eq. (6)"
+        " bandwidth drift",
+    )
 
     s = sub.add_parser(
         "memreport",
@@ -522,6 +537,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _train_demo_args(s, offload_default="gpu")
     s.set_defaults(memreport=True)
+
+    s = sub.add_parser(
+        "perfreport",
+        help="train-demo traced by perfscope: time ledger, stalls,"
+        " critical path, and Sec. 4 bandwidth drift",
+    )
+    _train_demo_args(s, offload_default="nvme")
+    s.set_defaults(perfreport=True)
     return p
 
 

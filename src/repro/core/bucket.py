@@ -37,6 +37,7 @@ from repro.comm.group import ProcessGroup
 from repro.nn.parameter import Parameter
 from repro.obs.memscope import attributed_empty, attributed_zeros, mem_sample
 from repro.obs.metrics import get_registry
+from repro.obs.perfscope import stall_span
 from repro.obs.tracer import trace_counter, trace_span
 from repro.tensor.flat import pad_to_multiple
 
@@ -154,7 +155,12 @@ class GradientBucketStore:
         if bucket is None:
             bucket = self._buckets[dtype] = _Bucket(dtype, self.world, self.capacity)
         if bucket.fill + padded > self.capacity:
-            self._flush_bucket(bucket)
+            # capacity-forced inline flush: the backward pass waits on the
+            # collective right now instead of at the step boundary
+            with stall_span(
+                "bucket_flush_wait", owner=f"bucket.{dtype}", fill=bucket.fill
+            ):
+                self._flush_bucket(bucket)
         off = bucket.fill
         for r, g in enumerate(grads):
             buf = bucket.inputs[r]

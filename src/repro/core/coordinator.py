@@ -36,7 +36,8 @@ from repro.nn.module import Module
 from repro.nn.parameter import Parameter, PartitionState
 from repro.obs.memscope import get_memscope
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import trace_span
+from repro.obs.perfscope import stall_span
+from repro.obs.tracer import get_tracer, trace_span
 from repro.tensor.flat import pad_to_multiple
 
 
@@ -309,8 +310,17 @@ class ParameterCoordinator:
         with trace_span(
             "engine:grad_flush", cat="engine", handles=len(self._grad_handles)
         ):
-            for handle in self._grad_handles:
-                handle.wait()
+            # grad shards are optimizer inputs: unhidden write latency here
+            # delays the optimizer step, so the wait is an I/O-tail stall
+            with stall_span(
+                "optimizer_io_tail",
+                owner="grad_flush",
+                kind="grad_write",
+                handles=len(self._grad_handles),
+                req=getattr(self._grad_handles[-1], "token", None),
+            ):
+                for handle in self._grad_handles:
+                    handle.wait()
             self._grad_handles.clear()
 
     # --- accumulation lifecycle --------------------------------------------------
@@ -395,6 +405,10 @@ class ParameterCoordinator:
         self._accum_seen.clear()
         for cb in self._abort_callbacks:
             cb()
+        # spans opened on worker threads (aio submit/pwrite) may still be
+        # live when the step unwinds; commit them as aborted so the trace
+        # stays well-formed and the leak is visible instead of silent
+        get_tracer().force_close_open(reason="abort_step")
         scope = get_memscope()
         if scope.enabled:
             scope.sample("abort_step")

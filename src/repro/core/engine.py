@@ -40,7 +40,12 @@ from repro.hardware.memory import AllocationError, MemoryLedger
 from repro.nn.init_context import PartitionedInitContext
 from repro.obs.memscope import get_memscope, mem_sample
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import trace_instant, trace_span
+from repro.obs.perfscope import (
+    PerfSummary,
+    build_step_ledgers,
+    summarize_ledgers,
+)
+from repro.obs.tracer import get_tracer, trace_instant, trace_span
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.parameter import PartitionState
@@ -105,6 +110,15 @@ class EngineReport:
     # Injection counts per fault kind when a fault plane is installed
     # (empty otherwise) — lets chaos tests assert the schedule actually ran.
     faults_injected: dict[str, int] = None  # type: ignore[assignment]
+    # Time-ledger summary (repro.obs.perfscope) when the global tracer was
+    # enabled during the run: per-phase microseconds, stall attribution and
+    # overlap over every traced engine:step.  Empty/zero when untraced.
+    perf_steps_traced: int = 0
+    perf_phase_us: dict[str, float] = None  # type: ignore[assignment]
+    perf_stall_us_by_cause: dict[str, float] = None  # type: ignore[assignment]
+    perf_overlap_fraction: float = 0.0
+    perf_stall_fraction: float = 0.0
+    perf_force_closed_spans: int = 0
 
     @property
     def total_collective_calls(self) -> int:
@@ -453,6 +467,9 @@ class ZeroInfinityEngine:
             ctx.on_step_abort(self.coordinator._params_by_id.keys())
         # stale grads from a partial backward must not leak into the replay
         self._drop_grads()
+        # abort callbacks may have opened (and leaked) spans of their own;
+        # sweep again so the trace leaves the unwind with no dangling spans
+        get_tracer().force_close_open(reason="step_abort")
 
     def _discard_pending_checkpoints(self) -> None:
         for block in self._ckpt_blocks:
@@ -551,6 +568,17 @@ class ZeroInfinityEngine:
                 f" {s['mispredicts']} mis-predicts"
                 f" ({s['issued']} issued at depth {s['depth']})"
             )
+        perf = self.perf_summary()
+        if perf is not None and perf.steps:
+            fr = perf.phase_fractions()
+            lines.append(
+                f"  time: {perf.steps} step(s) traced —"
+                f" compute {fr.get('compute', 0.0):.0%},"
+                f" comm {fr.get('comm', 0.0):.0%},"
+                f" nvme {fr.get('nvme_io', 0.0):.0%},"
+                f" stall {perf.stall_fraction():.0%},"
+                f" overlap {perf.overlap_fraction():.0%}"
+            )
         return "\n".join(lines)
 
     def memory_breakdown(self) -> dict[str, dict[str, int]]:
@@ -616,7 +644,32 @@ class ZeroInfinityEngine:
             faults_injected=(
                 plane.injected_by_kind() if plane is not None else {}
             ),
+            **self._perf_fields(),
         )
+
+    def _perf_fields(self) -> dict:
+        """Time-ledger EngineReport fields from the live tracer (if any)."""
+        perf = self.perf_summary()
+        if perf is None or not perf.steps:
+            return {"perf_phase_us": {}, "perf_stall_us_by_cause": {}}
+        return {
+            "perf_steps_traced": perf.steps,
+            "perf_phase_us": dict(perf.phase_us),
+            "perf_stall_us_by_cause": dict(perf.stall_us_by_cause),
+            "perf_overlap_fraction": perf.overlap_fraction(),
+            "perf_stall_fraction": perf.stall_fraction(),
+            "perf_force_closed_spans": perf.force_closed_spans,
+        }
+
+    def perf_summary(self) -> Optional[PerfSummary]:
+        """Aggregate time ledger over the tracer's steps; None if untraced."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        ledgers = build_step_ledgers(tracer)
+        if not ledgers:
+            return None
+        return summarize_ledgers(ledgers, force_closed=tracer.force_closed)
 
     def _tier_peak_bytes(self) -> dict[str, int]:
         """Peak bytes per tier: memscope when live, else ledger/pool/store."""

@@ -33,6 +33,7 @@ from repro.hardware.memory import MemoryLedger
 from repro.nvme.aio import IORequest
 from repro.obs.memscope import attribution_for_key, get_memscope, mem_sample
 from repro.obs.metrics import get_registry
+from repro.obs.perfscope import stall_span
 from repro.obs.tracer import trace_span
 from repro.nvme.buffers import PinnedBuffer, PinnedBufferPool
 from repro.nvme.store import TensorStore
@@ -319,7 +320,10 @@ class InfinityOffloadEngine:
         if self.store is not None and key in self.store:
             self.counters.prefetch_misses += 1
             get_registry().counter("prefetch.misses").inc()
-            with trace_span(
+            # demand fetch: the step blocks on a read the prefetcher missed
+            with stall_span(
+                "prefetch_miss", owner=attribution_for_key(key)[1], key=key
+            ), trace_span(
                 "offload:swap_in", cat="offload", tier="nvme",
                 prefetched=False, rank=rank,
             ):
@@ -381,7 +385,10 @@ class InfinityOffloadEngine:
         if self.store is not None and key in self.store:
             self.counters.prefetch_misses += 1
             get_registry().counter("prefetch.misses").inc()
-            with trace_span(
+            # demand fetch: the step blocks on a read the prefetcher missed
+            with stall_span(
+                "prefetch_miss", owner=attribution_for_key(key)[1], key=key
+            ), trace_span(
                 "offload:swap_in", cat="offload", tier="nvme",
                 prefetched=False, rank=rank,
             ):
@@ -416,11 +423,13 @@ class InfinityOffloadEngine:
                 buffer = pin.array
             except MemoryError:
                 # Pinned pool exhausted: fall back to an unpinned staging buffer
-                # rather than stalling the prefetch pipeline.
-                pin = None
-                buffer = np.empty(numel, dtype=dtype)  # lint: allow-rawalloc
-                self.counters.pinned_fallbacks += 1
-                get_registry().counter("faults.pinned_fallback").inc()
+                # rather than stalling the prefetch pipeline.  The fallback
+                # allocation itself is time the budget cost us.
+                with stall_span("pinned_wait", owner="pool", key=key):
+                    pin = None
+                    buffer = np.empty(numel, dtype=dtype)  # lint: allow-rawalloc
+                    self.counters.pinned_fallbacks += 1
+                    get_registry().counter("faults.pinned_fallback").inc()
             target, req = self.store.read_async(key, buffer)
             with self._lock:
                 self._inflight[key] = _Inflight(target, pin, req)

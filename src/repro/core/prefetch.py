@@ -24,7 +24,7 @@ from typing import Optional
 from repro.nn.module import Module
 from repro.nn.parameter import PartitionState
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import trace_instant, trace_span
+from repro.obs.tracer import trace_counter, trace_instant, trace_span
 
 
 @dataclass(frozen=True)
@@ -191,3 +191,7 @@ class DynamicPrefetcher:
         if started:
             self.issued += started
             get_registry().counter("prefetch.issued").inc(started)
+            trace_counter(
+                "prefetch.lookahead", cat="prefetch",
+                issued=started, total=self.issued,
+            )

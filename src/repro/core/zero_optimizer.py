@@ -29,6 +29,7 @@ from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
 from repro.core.offload import InfinityOffloadEngine
 from repro.core.partition import ParameterPartitioner
 from repro.nn.parameter import Parameter
+from repro.obs.perfscope import stall_span
 from repro.optim.adam import adam_step
 from repro.tensor.flat import pad_to_multiple
 
@@ -283,8 +284,17 @@ class ZeroPartitionedAdam:
         for i, (off, n) in enumerate(spans):
             nxt = start_reads(*spans[i + 1]) if i + 1 < len(spans) else None
             bufs, reqs = cur
-            for req in reqs:
-                req.wait()
+            # the update cannot start until this chunk's state reads land;
+            # with read-ahead working this wait is ~0, so its duration IS
+            # the unhidden optimizer I/O tail for the chunk
+            with stall_span(
+                "optimizer_io_tail",
+                owner=f"p{param.unique_id}.r{rank}.chunk{i}",
+                kind="read",
+                req=getattr(reqs[-1], "token", None),
+            ):
+                for req in reqs:
+                    req.wait()
             adam_step(
                 bufs["master"],
                 grad_full[off : off + n],
@@ -310,6 +320,13 @@ class ZeroPartitionedAdam:
             )
             if nxt is not None:
                 cur = nxt
-        for req in pending_writes:
-            req.wait()
+        if pending_writes:
+            with stall_span(
+                "optimizer_io_tail",
+                owner=f"p{param.unique_id}.r{rank}",
+                kind="write_tail",
+                req=getattr(pending_writes[-1], "token", None),
+            ):
+                for req in pending_writes:
+                    req.wait()
         self._writeback_param_shard(param, rank, updated_fp16.astype(np.float32))

@@ -13,11 +13,12 @@ how the pinned-buffer layer achieves its zero-copy staging.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from contextlib import suppress
+from contextlib import nullcontext, suppress
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -27,8 +28,14 @@ from repro.check.runtime import CheckContext, get_checker
 from repro.faults.retry import RetryPolicy, run_with_retries
 from repro.faults.runtime import get_faults
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import trace_span
+from repro.obs.perfscope import stall_span
+from repro.obs.tracer import trace_counter, trace_span
 from repro.utils.units import MIB
+
+#: process-wide request tokens: the happens-before edge label that ties an
+#: ``nvme:submit_*`` span to its worker-lane blocks and to whichever stall
+#: span later waited on the request (perfscope's critical-path extraction)
+_REQ_TOKENS = itertools.count(1)
 
 
 @dataclass
@@ -73,10 +80,13 @@ class IOStats:
 class IORequest:
     """Handle for an in-flight bulk read or write."""
 
-    def __init__(self, futures: list[Future], kind: str, nbytes: int) -> None:
+    def __init__(
+        self, futures: list[Future], kind: str, nbytes: int, token: int = -1
+    ) -> None:
         self._futures = futures
         self.kind = kind
         self.nbytes = nbytes
+        self.token = token  # perfscope happens-before edge label
         self._observed = False
         self._races = None  # AioRaceDetector watching this request, if any
 
@@ -148,6 +158,7 @@ class AsyncIOEngine:
             "read": registry.histogram("nvme.read_us"),
             "write": registry.histogram("nvme.write_us"),
         }
+        self._m_s2c = registry.histogram("aio.submit_to_complete_us")
 
     # --- internal block ops ------------------------------------------------------
     @staticmethod
@@ -199,9 +210,15 @@ class AsyncIOEngine:
 
         The gauge rises on submit and falls when the *last* sub-block
         future completes, so its high-water mark is the realized queue
-        depth; the histogram records whole-request latency in µs.
+        depth; the histograms record whole-request submit-to-completion
+        latency in µs (per direction, plus the combined
+        ``aio.submit_to_complete_us`` feeding perfscope's nvme_io view).
+        A Chrome counter track (``aio.inflight``) samples the depth at
+        both edges so Perfetto shows the realized queue next to the span
+        lanes.
         """
         self._m_depth.add(1)
+        trace_counter("aio.inflight", cat="nvme", depth=self._m_depth.value)
         t0 = time.perf_counter_ns()
         remaining = [len(req._futures)]
         lock = threading.Lock()
@@ -212,9 +229,12 @@ class AsyncIOEngine:
                 if remaining[0]:
                     return
             self._m_depth.add(-1)
-            self._m_latency[req.kind].observe(
-                (time.perf_counter_ns() - t0) / 1e3
+            trace_counter(
+                "aio.inflight", cat="nvme", depth=self._m_depth.value
             )
+            lat_us = (time.perf_counter_ns() - t0) / 1e3
+            self._m_latency[req.kind].observe(lat_us)
+            self._m_s2c.observe(lat_us)
 
         for f in req._futures:
             f.add_done_callback(_done)
@@ -270,7 +290,8 @@ class AsyncIOEngine:
         self._require_open()
         data = np.ascontiguousarray(array)
         view = memoryview(data).cast("B")
-        with trace_span("nvme:submit_write", cat="nvme", bytes=len(view)):
+        token = next(_REQ_TOKENS)
+        with trace_span("nvme:submit_write", cat="nvme", bytes=len(view), req=token):
             # Pre-size the file so parallel pwrites of disjoint ranges are safe.
             end = file_offset + len(view)
             fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
@@ -281,7 +302,8 @@ class AsyncIOEngine:
                 os.close(fd)
             futures = [
                 self._pool.submit(
-                    self._pwrite_block, path, view[o : o + n], file_offset + o
+                    self._pwrite_block, path, view[o : o + n], file_offset + o,
+                    token,
                 )
                 for o, n in self._split(len(view))
             ]
@@ -291,7 +313,7 @@ class AsyncIOEngine:
                                      on_commit, on_commit_error)
                 ]
             self.stats.add_write(len(view))
-            req = self._track(IORequest(futures, "write", len(view)))
+            req = self._track(IORequest(futures, "write", len(view), token))
             return self._watch_races(req, data, path, file_offset)
 
     def _arm_commit(
@@ -345,41 +367,64 @@ class AsyncIOEngine:
             f.add_done_callback(_finish)
         return commit
 
-    def _pwrite_block(self, path: str, data: memoryview, offset: int) -> None:
+    def _pwrite_block(
+        self, path: str, data: memoryview, offset: int, token: int = -1
+    ) -> None:
         """One sub-block write on a worker thread, span on its own lane.
 
         Retries transient ``OSError`` failures up to the engine's policy;
         pwrite at an absolute offset is idempotent, so a retry after a
-        partial write simply rewrites the block.
+        partial write simply rewrites the block.  Re-attempts run inside a
+        ``stall:retry`` span so the recovery time is attributed to the
+        fault site instead of blending into ordinary I/O.
         """
-        with trace_span("nvme:pwrite", cat="nvme", bytes=len(data)):
+        with trace_span("nvme:pwrite", cat="nvme", bytes=len(data), req=token):
+            tries = [0]
 
             def attempt() -> None:
-                fp = get_faults()
-                if fp is not None:
-                    fp.on_event("aio.write", key=path, nbytes=len(data))
-                self._pwrite(path, data, offset)
+                ctx = (
+                    stall_span("retry", owner=path, kind="write", req=token)
+                    if tries[0]
+                    else nullcontext()
+                )
+                tries[0] += 1
+                with ctx:
+                    fp = get_faults()
+                    if fp is not None:
+                        fp.on_event("aio.write", key=path, nbytes=len(data))
+                    self._pwrite(path, data, offset)
 
             run_with_retries(
                 "aio.write", attempt, policy=self.retry_policy, key=path,
                 on_retry=lambda: self.stats.add_retry("write"),
             )
 
-    def _pread_block(self, path: str, out: memoryview, offset: int) -> None:
+    def _pread_block(
+        self, path: str, out: memoryview, offset: int, token: int = -1
+    ) -> None:
         """One sub-block read on a worker thread, span on its own lane.
 
-        Retries like :meth:`_pwrite_block`.  The bit-flip corruption hook
-        runs *after* a successful read — modeling a transfer-path flip the
-        checksum layer (TensorStore verify-on-fetch) must catch, since no
-        amount of device-level retrying can observe it here.
+        Retries like :meth:`_pwrite_block` (re-attempts inside a
+        ``stall:retry`` span).  The bit-flip corruption hook runs *after*
+        a successful read — modeling a transfer-path flip the checksum
+        layer (TensorStore verify-on-fetch) must catch, since no amount of
+        device-level retrying can observe it here.
         """
-        with trace_span("nvme:pread", cat="nvme", bytes=len(out)):
+        with trace_span("nvme:pread", cat="nvme", bytes=len(out), req=token):
+            tries = [0]
 
             def attempt() -> None:
-                fp = get_faults()
-                if fp is not None:
-                    fp.on_event("aio.read", key=path, nbytes=len(out))
-                self._pread(path, out, offset)
+                ctx = (
+                    stall_span("retry", owner=path, kind="read", req=token)
+                    if tries[0]
+                    else nullcontext()
+                )
+                tries[0] += 1
+                with ctx:
+                    fp = get_faults()
+                    if fp is not None:
+                        fp.on_event("aio.read", key=path, nbytes=len(out))
+                    self._pread(path, out, offset)
 
             run_with_retries(
                 "aio.read", attempt, policy=self.retry_policy, key=path,
@@ -397,15 +442,17 @@ class AsyncIOEngine:
         if not out.flags["C_CONTIGUOUS"]:
             raise ValueError("read target must be C-contiguous (pinned buffer)")
         view = memoryview(out).cast("B")
-        with trace_span("nvme:submit_read", cat="nvme", bytes=len(view)):
+        token = next(_REQ_TOKENS)
+        with trace_span("nvme:submit_read", cat="nvme", bytes=len(view), req=token):
             futures = [
                 self._pool.submit(
-                    self._pread_block, path, view[o : o + n], file_offset + o
+                    self._pread_block, path, view[o : o + n], file_offset + o,
+                    token,
                 )
                 for o, n in self._split(len(view))
             ]
             self.stats.add_read(len(view))
-            req = self._track(IORequest(futures, "read", len(view)))
+            req = self._track(IORequest(futures, "read", len(view), token))
             return self._watch_races(req, out, path, file_offset)
 
     def write(self, path: str, array: np.ndarray, *, file_offset: int = 0) -> None:

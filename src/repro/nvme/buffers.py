@@ -23,6 +23,7 @@ from repro.check.runtime import CheckContext, get_checker
 from repro.faults.runtime import get_faults
 from repro.obs.memscope import mem_alloc, mem_free
 from repro.obs.metrics import get_registry
+from repro.obs.perfscope import stall_span
 from repro.obs.tracer import trace_counter
 
 
@@ -160,14 +161,27 @@ class PinnedBufferPool:
                         total=occ,
                     )
                     return handed
-            # Evict cached buffers (smallest first) until the new allocation fits.
-            while (
+            # Evict cached buffers (smallest first) until the new allocation
+            # fits.  Needing to evict means the budget is the bottleneck: the
+            # wait is attributed to the pool as a pinned_wait stall.
+            if (
                 self._live_bytes + self._cached_bytes + want > self.budget_bytes
                 and self._free
             ):
-                evicted = self._free.pop(0)
-                self._cached_bytes -= evicted.nbytes
-                mem_free("pinned", evicted.nbytes, category="pinned", owner="pool")
+                with stall_span("pinned_wait", owner="pool", want=want):
+                    while (
+                        self._live_bytes + self._cached_bytes + want
+                        > self.budget_bytes
+                        and self._free
+                    ):
+                        evicted = self._free.pop(0)
+                        self._cached_bytes -= evicted.nbytes
+                        mem_free(
+                            "pinned",
+                            evicted.nbytes,
+                            category="pinned",
+                            owner="pool",
+                        )
             if self._live_bytes + want > self.budget_bytes:
                 raise PinnedBudgetExceeded(
                     f"request for {want} bytes exceeds pinned budget"

@@ -31,6 +31,7 @@ from repro.nvme.aio import AsyncIOEngine, IORequest
 from repro.nvme.buffers import PinnedBufferPool
 from repro.obs.memscope import attribution_for_key, get_memscope
 from repro.obs.metrics import get_registry
+from repro.obs.perfscope import stall_span
 from repro.obs.tracer import trace_instant
 
 
@@ -115,11 +116,18 @@ class _VerifiedRead:
                 "faults:checksum_refetch", cat="faults",
                 key=self._key, attempt=attempts,
             )
-            virtual_clock().advance(
-                self._store.engine.retry_policy.delay_us(attempts - 1)
-            )
-            self._store.engine.submit_read(self._rec.path, self._out).wait()
-            actual = _crc32(self._out)
+            # re-fetch time is a stall owned by the fault site, not
+            # ordinary I/O: the caller already paid for the first read
+            with stall_span(
+                "checksum_refetch", owner=self._key, attempt=attempts
+            ):
+                virtual_clock().advance(
+                    self._store.engine.retry_policy.delay_us(attempts - 1)
+                )
+                self._store.engine.submit_read(
+                    self._rec.path, self._out
+                ).wait()
+                actual = _crc32(self._out)
         self._verified = True
 
 
@@ -523,7 +531,15 @@ class ChunkedSwapper:
                     rec.path, nxt_arr, file_offset=noff * itemsize
                 )
                 nxt = (nxt_arr, nxt_pin, nxt_req)
-            cur_req.wait()
+            # with read-ahead working this wait is ~0; its duration is the
+            # unhidden optimizer I/O tail for the chunk
+            with stall_span(
+                "optimizer_io_tail",
+                owner=f"{key}.chunk{i}",
+                kind="read",
+                req=getattr(cur_req, "token", None),
+            ):
+                cur_req.wait()
             result = np.ascontiguousarray(fn(cur_arr), dtype=rec.dtype)
             if result.size != n:
                 raise ValueError(
@@ -534,7 +550,14 @@ class ChunkedSwapper:
             pending_write = self.store.engine.submit_write(
                 rec.path, result, file_offset=off * itemsize
             )
-            pending_write.wait()  # result may be a temp; ensure durable before reuse
+            with stall_span(
+                "optimizer_io_tail",
+                owner=f"{key}.chunk{i}",
+                kind="write_tail",
+                req=getattr(pending_write, "token", None),
+            ):
+                # result may be a temp; ensure durable before buffer reuse
+                pending_write.wait()
             pending_write = None
             if cur_pin is not None:
                 cur_pin.release()

@@ -12,7 +12,12 @@ its own timeline in :mod:`repro.sim`).  Three pieces:
 * :mod:`repro.obs.memscope` — a live per-tier byte ledger with owner
   attribution, watermark timelines and an ASCII memory gantt;
 * :mod:`repro.obs.memreport` — measured-vs-analytic-model drift reports
-  (Eqs. 1-5) with tuning recommendations.
+  (Eqs. 1-5) with tuning recommendations;
+* :mod:`repro.obs.perfscope` — per-step time ledger (compute/comm/nvme/
+  stall/overlap, exact to the wall-clock), stall attribution by cause and
+  owner, and critical-path extraction over the span DAG;
+* :mod:`repro.obs.perfreport` — measured-vs-model bandwidth drift reports
+  (Eqs. 6-11) with stall-driven knob recommendations.
 
 Typical use::
 
@@ -56,6 +61,27 @@ from repro.obs.memreport import (
     DriftRow,
     MemReport,
     build_memreport,
+)
+from repro.obs.perfscope import (
+    PHASES,
+    STALL_CAUSES,
+    CriticalPath,
+    PerfSummary,
+    Segment,
+    StallTotal,
+    StepLedger,
+    build_step_ledgers,
+    classify_span,
+    critical_path_from_sim,
+    critical_path_from_trace,
+    render_perf_breakdown,
+    stall_span,
+    summarize_ledgers,
+)
+from repro.obs.perfreport import (
+    PerfDriftRow,
+    PerfReport,
+    build_perfreport,
 )
 from repro.obs.metrics import (
     Counter,
@@ -102,6 +128,23 @@ __all__ = [
     "DriftRow",
     "MemReport",
     "build_memreport",
+    "PHASES",
+    "STALL_CAUSES",
+    "CriticalPath",
+    "PerfSummary",
+    "Segment",
+    "StallTotal",
+    "StepLedger",
+    "build_step_ledgers",
+    "classify_span",
+    "critical_path_from_sim",
+    "critical_path_from_trace",
+    "render_perf_breakdown",
+    "stall_span",
+    "summarize_ledgers",
+    "PerfDriftRow",
+    "PerfReport",
+    "build_perfreport",
     "Counter",
     "Gauge",
     "Histogram",

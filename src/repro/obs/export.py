@@ -34,9 +34,23 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
     children), so records are re-sorted here to give each lane
     monotonically non-decreasing ``ts``; ties break longest-first so
     complete events nest correctly.
+
+    Stall spans (``cat == "stall"``, from :mod:`repro.obs.perfscope`) are
+    additionally *mirrored* onto one synthetic "stalls" lane below every
+    thread lane, so wait time reads as a single dedicated track in
+    Perfetto without hunting through the nesting.
     """
     events: list[dict] = []
-    for lane, name in sorted(tracer.lane_names().items()):
+    lanes = tracer.lane_names()
+    stall_lane = (max(lanes) + 1) if lanes else 0
+    records = tracer.records()
+    has_stalls = any(
+        r.cat == "stall" and not r.counter and not r.instant for r in records
+    )
+    if has_stalls:
+        lanes = dict(lanes)
+        lanes[stall_lane] = "stalls"
+    for lane, name in sorted(lanes.items()):
         events.append(
             {
                 "ph": "M",
@@ -55,7 +69,8 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
                 "args": {"sort_index": lane},
             }
         )
-    spans = sorted(tracer.records(), key=lambda r: (r.tid, r.ts_us, -r.dur_us))
+    spans = sorted(records, key=lambda r: (r.tid, r.ts_us, -r.dur_us))
+    mirrors: list[dict] = []
     for r in spans:
         ev = {
             "name": r.name,
@@ -78,6 +93,14 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
             ev["ph"] = "X"
             ev["dur"] = r.dur_us
         events.append(ev)
+        if r.cat == "stall" and not r.counter and not r.instant:
+            mirror = dict(ev)
+            mirror["tid"] = stall_lane
+            args = dict(mirror.get("args", {}))
+            args["lane"] = r.tid  # back-pointer to the originating thread
+            mirror["args"] = args
+            mirrors.append(mirror)
+    events.extend(sorted(mirrors, key=lambda e: (e["ts"], -e["dur"])))
     return events
 
 

@@ -199,6 +199,161 @@ def measure_memscope_overhead(
     )
 
 
+@dataclass
+class PerfScopeOverheadReport:
+    """What perfscope's stall instrumentation costs on one engine step.
+
+    The ledger/critical-path extraction is post-processing over committed
+    spans, so the hot-path cost is the stall-span call sites (plus the
+    counter samples they ride with); ``ledger_build_s`` reports the
+    off-path analysis cost for context.
+    """
+
+    step_disabled_s: float  # min step time, tracing disabled
+    step_enabled_s: float  # min step time, tracing enabled
+    spans_per_step: int  # all spans one traced step records
+    stall_ops_per_step: int  # stall spans + counter samples among them
+    noop_call_s: float  # per-call cost of a disabled stall_span
+    stall_call_s: float  # per-call cost of an enabled stall_span
+    ledger_build_s: float  # build_step_ledgers over the traced step
+    stall_fraction: float  # of the traced step's wall-clock
+    overlap_fraction: float
+    residual_us: float  # ledger accounting disagreement (should be ~0)
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Modeled no-op overhead fraction of the disabled step time."""
+        return self.spans_per_step * self.noop_call_s / self.step_disabled_s
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Measured enabled-tracing overhead fraction."""
+        return self.step_enabled_s / self.step_disabled_s - 1.0
+
+    @property
+    def steps_per_s(self) -> float:
+        return 1.0 / self.step_disabled_s if self.step_disabled_s > 0 else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"step (tracing off):  {self.step_disabled_s * 1e3:8.2f} ms",
+                f"step (tracing on):   {self.step_enabled_s * 1e3:8.2f} ms",
+                f"spans per step:      {self.spans_per_step:8d}",
+                f"stall ops per step:  {self.stall_ops_per_step:8d}",
+                f"no-op stall call:    {self.noop_call_s * 1e9:8.1f} ns",
+                f"enabled stall call:  {self.stall_call_s * 1e9:8.1f} ns",
+                f"ledger build:        {self.ledger_build_s * 1e3:8.2f} ms",
+                f"stall fraction:      {self.stall_fraction:8.3%}",
+                f"overlap fraction:    {self.overlap_fraction:8.3%}",
+                f"ledger residual:     {self.residual_us:8.3f} us",
+                f"disabled overhead:   {self.disabled_overhead:8.3%}",
+                f"enabled overhead:    {self.enabled_overhead:8.3%}",
+            ]
+        )
+
+
+def _per_stall_cost(calls: int, *, enabled: bool) -> float:
+    """Seconds per stall_span() call against a fresh global tracer."""
+    from repro.obs.perfscope import stall_span
+
+    tracer = Tracer(enabled=enabled, max_spans=calls + 1)
+    with use_tracer(tracer):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            with stall_span("pinned_wait", owner="bench"):
+                pass
+        elapsed = time.perf_counter() - t0
+    return elapsed / calls
+
+
+def measure_perfscope_overhead(
+    *,
+    reps: int = 7,
+    hidden_dim: int = 160,
+    num_layers: int = 2,
+    world_size: int = 2,
+    micro_calls: int = 20_000,
+) -> PerfScopeOverheadReport:
+    """Run a small CPU-offloaded engine step with tracing off and on.
+
+    Same protocol as :func:`measure_memscope_overhead`: the disabled path
+    is modeled (per-call no-op cost x spans per step), the enabled path is
+    measured interleaved with GC off; the traced step additionally runs
+    through :func:`repro.obs.perfscope.build_step_ledgers` to report the
+    post-processing cost and the ledger's own stall/overlap read-out.
+    """
+    from repro.core.config import OffloadConfig, OffloadDevice, ZeroConfig
+    from repro.core.engine import ZeroInfinityEngine
+    from repro.nn import GPTModel, TransformerConfig
+    from repro.obs.perfscope import build_step_ledgers
+    from repro.utils.rng import seeded_rng
+
+    model_cfg = TransformerConfig(
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        num_heads=4,
+        vocab_size=128,
+        max_seq=32,
+    )
+    zero_cfg = ZeroConfig(
+        world_size=world_size,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.CPU,
+            grad_device=OffloadDevice.CPU,
+            optimizer_device=OffloadDevice.CPU,
+        ),
+        loss_scale=1.0,
+    )
+    rng = seeded_rng(3)
+    batches = [
+        (rng.integers(0, 128, (2, 32)), rng.integers(0, 128, (2, 32)))
+        for _ in range(world_size)
+    ]
+    with ZeroInfinityEngine(
+        zero_cfg, model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0))
+    ) as engine:
+        step = lambda: engine.train_step(batches)  # noqa: E731
+        step()  # warm-up: caches primed, buffers allocated
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            step()
+        records = tracer.records()
+        spans_per_step = len(records)
+        stall_ops = sum(1 for r in records if r.cat == "stall" or r.counter)
+        t0 = time.perf_counter()
+        ledgers = build_step_ledgers(records)
+        ledger_build_s = time.perf_counter() - t0
+        led = ledgers[-1]
+        disabled_s = enabled_s = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                gc.collect()
+                disabled_s = min(disabled_s, _timed(step))
+                tracer.clear()
+                gc.collect()
+                with use_tracer(tracer):
+                    enabled_s = min(enabled_s, _timed(step))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    return PerfScopeOverheadReport(
+        step_disabled_s=disabled_s,
+        step_enabled_s=enabled_s,
+        spans_per_step=spans_per_step,
+        stall_ops_per_step=stall_ops,
+        noop_call_s=_per_stall_cost(micro_calls, enabled=False),
+        stall_call_s=_per_stall_cost(micro_calls, enabled=True),
+        ledger_build_s=ledger_build_s,
+        stall_fraction=led.stall_fraction(),
+        overlap_fraction=led.overlap_fraction(),
+        residual_us=led.residual_us,
+    )
+
+
 def measure_overhead(
     *,
     reps: int = 7,

@@ -65,9 +65,16 @@ _NOOP_SPAN = _NoopSpan()
 
 
 class _Span:
-    """Context manager that commits a :class:`SpanRecord` on exit."""
+    """Context manager that commits a :class:`SpanRecord` on exit.
 
-    __slots__ = ("_tracer", "_name", "_cat", "_args", "_t0")
+    Open spans register in the tracer's ``_open`` table so an aborted step
+    can force-close whatever a worker thread left dangling
+    (:meth:`Tracer.force_close_open`).  ``dict.pop`` on the table is the
+    commit token: whoever pops the key commits the record, so a racing
+    normal exit and force-close cannot double-record.
+    """
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_t0", "_ident")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict) -> None:
         self._tracer = tracer
@@ -76,10 +83,15 @@ class _Span:
         self._args = args
 
     def __enter__(self) -> "_Span":
+        self._ident = threading.get_ident()
         self._t0 = time.perf_counter_ns()
+        # plain dict store: atomic under the GIL, no lock on the hot path
+        self._tracer._open[id(self)] = self
         return self
 
     def __exit__(self, *exc) -> bool:
+        if self._tracer._open.pop(id(self), None) is None:
+            return False  # already force-closed by an abort unwind
         self._tracer._commit(
             self._name, self._cat, self._args, self._t0, time.perf_counter_ns()
         )
@@ -106,7 +118,9 @@ class Tracer:
         self._lanes: dict[int, int] = {}  # thread ident -> dense lane id
         self._tls = threading.local()  # caches (lane, name) per thread
         self._lock = threading.Lock()
+        self._open: dict[int, "_Span"] = {}  # id(span) -> span, while entered
         self.dropped = 0
+        self.force_closed = 0
 
     # --- state -----------------------------------------------------------------
     @property
@@ -175,20 +189,23 @@ class Tracer:
         *,
         instant: bool = False,
         counter: bool = False,
+        lane: Optional[int] = None,
+        thread_name: Optional[str] = None,
     ) -> None:
-        tls = self._tls
-        try:
-            lane = tls.lane
-            thread_name = tls.name
-        except AttributeError:  # first span from this thread
-            ident = threading.get_ident()
-            thread_name = threading.current_thread().name
-            with self._lock:
-                lane = self._lanes.get(ident)
-                if lane is None:
-                    lane = self._lanes[ident] = len(self._lanes)
-            tls.lane = lane
-            tls.name = thread_name
+        if lane is None:
+            tls = self._tls
+            try:
+                lane = tls.lane
+                thread_name = tls.name
+            except AttributeError:  # first span from this thread
+                ident = threading.get_ident()
+                thread_name = threading.current_thread().name
+                with self._lock:
+                    lane = self._lanes.get(ident)
+                    if lane is None:
+                        lane = self._lanes[ident] = len(self._lanes)
+                tls.lane = lane
+                tls.name = thread_name
         rec = (
             name,
             cat,
@@ -205,6 +222,56 @@ class Tracer:
                 self.dropped += 1
                 return
             self._records.append(rec)
+
+    # --- abort handling ---------------------------------------------------------
+    def open_span_names(self) -> list[str]:
+        """Names of spans currently entered but not yet exited."""
+        return [s._name for s in list(self._open.values())]
+
+    def force_close_open(
+        self, *, exclude_current_thread: bool = True, **extra_args
+    ) -> int:
+        """Commit every dangling open span now, marked ``aborted=True``.
+
+        Called from the step-abort unwind paths so Chrome traces from
+        faulted/replayed steps stay well-formed instead of silently losing
+        whatever a worker thread had open when its request was abandoned.
+
+        Spans belonging to the calling thread are skipped by default: an
+        exception unwinding through ``with`` blocks exits those normally,
+        and the enclosing ``engine:step`` span must stay open for the
+        retry.  Returns the number of spans closed; each closed span's
+        record carries ``aborted=True`` plus ``extra_args``.
+        """
+        if not self._enabled:
+            return 0
+        me = threading.get_ident()
+        now = time.perf_counter_ns()
+        closed = 0
+        for key, span in list(self._open.items()):
+            if exclude_current_thread and span._ident == me:
+                continue
+            if self._open.pop(key, None) is None:
+                continue  # the owning thread exited it while we looked
+            with self._lock:
+                lane = self._lanes.get(span._ident)
+                if lane is None:
+                    lane = self._lanes[span._ident] = len(self._lanes)
+            args = dict(span._args)
+            args["aborted"] = True
+            args.update(extra_args)
+            self._append(
+                span._name,
+                span._cat,
+                args,
+                span._t0,
+                now,
+                lane=lane,
+                thread_name=f"lane{lane}",
+            )
+            closed += 1
+        self.force_closed += closed
+        return closed
 
     def lane_names(self) -> dict[int, str]:
         """lane id -> representative thread name (first span wins)."""

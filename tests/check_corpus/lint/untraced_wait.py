@@ -1,0 +1,30 @@
+"""Bug: the prefetcher blocks in a bare ``time.sleep`` off the ledger.
+
+The wait really happens — the training thread sits idle until the pinned
+staging buffer frees up — but no stall span is open, so the perfscope
+step ledger charges the time to whatever span wraps the call site
+(usually ``engine:forward``) and the stall report under-counts
+``pinned_wait`` to zero.  The ``untraced-wait`` lint rule flags bare
+sleeps and spin loops in perfscope-instrumented modules; the fix is to
+wait inside ``perfscope.stall_span("pinned_wait", owner=...)`` (compare
+:meth:`repro.nvme.buffers.PinnedPool.acquire`).
+
+Static corpus: this file is never imported by the runtime checker harness;
+``tests/test_lint.py`` lints its source as if it lived at ``LINT_AS``.
+"""
+
+import time
+
+LINT_AS = "repro/core/prefetch.py"
+EXPECT = "untraced-wait"
+
+
+def wait_for_pinned_buffer(pool) -> None:
+    while pool.available_bytes() == 0:
+        time.sleep(0.001)  # <- the bug: idle time invisible to the ledger
+
+
+def drain(pool) -> None:
+    # spin variant: also invisible to stall attribution
+    while not pool.idle():
+        pass

@@ -134,6 +134,63 @@ class TestRules:
         src = "try:\n    f()\nexcept OSError:\n    pass\n"
         assert lint_source(src, "repro/obs/tracer.py") == []
 
+    def test_untraced_sleep_in_instrumented_module(self):
+        src = "import time\ndef f():\n    time.sleep(0.01)\n"
+        assert rules_of(lint_source(src, "repro/nvme/aio.py")) == [
+            "untraced-wait"
+        ]
+
+    def test_untraced_spin_loop(self):
+        src = "def f(flag):\n    while not flag():\n        pass\n"
+        assert rules_of(lint_source(src, "repro/core/engine.py")) == [
+            "untraced-wait"
+        ]
+
+    def test_sleep_inside_stall_span_ok(self):
+        src = (
+            "import time\n"
+            "from repro.obs.perfscope import stall_span\n"
+            "def f():\n"
+            "    with stall_span('pinned_wait', owner='pool'):\n"
+            "        time.sleep(0.01)\n"
+        )
+        assert lint_source(src, "repro/nvme/buffers.py") == []
+
+    def test_sleep_inside_attribute_stall_span_ok(self):
+        src = (
+            "import time\n"
+            "import repro.obs.perfscope as perfscope\n"
+            "def f():\n"
+            "    with perfscope.stall_span('prefetch_miss', owner='m'):\n"
+            "        while not done():\n"
+            "            time.sleep(0.001)\n"
+        )
+        assert lint_source(src, "repro/core/prefetch.py") == []
+
+    def test_non_stall_with_does_not_shield(self):
+        src = (
+            "import time\n"
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        time.sleep(0.01)\n"
+        )
+        assert rules_of(lint_source(src, "repro/core/bucket.py")) == [
+            "untraced-wait"
+        ]
+
+    def test_untraced_wait_suppression_comment(self):
+        src = (
+            "import time\n"
+            "def f():\n"
+            "    time.sleep(0.01)  # lint: allow-untraced-wait\n"
+        )
+        assert lint_source(src, "repro/nvme/store.py") == []
+
+    def test_sleep_fine_off_instrumented_modules(self):
+        src = "import time\ndef f():\n    time.sleep(0.01)\n"
+        assert lint_source(src, "repro/obs/tracer.py") == []
+        assert lint_source(src, "repro/sim/executor.py") == []
+
 
 class TestLintCorpus:
     """Static half of the deliberate-bug corpus (tests/check_corpus/lint/).
