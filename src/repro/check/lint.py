@@ -10,6 +10,15 @@ runtime passes rely on:
     ordering checker.  Importing ``repro.comm.collectives`` (or the
     functional collective names) outside ``repro/comm/`` bypasses both.
 
+``raw-collective-import``
+    Inside ``repro/comm/`` itself, only the backend package — the
+    functional module ``collectives.py`` and the :class:`CommBackend`
+    implementations in ``backend.py`` — may import
+    ``repro.comm.collectives``.  Everything else in the package
+    (``group.py``, ``mp_backend.py``, helpers) must go through a
+    backend so both execution models stay behind one seam; a deliberate
+    re-export carries ``# lint: allow-raw-collective-import``.
+
 ``wallclock``
     No ``time.time()`` / ``time.time_ns()`` in numerics packages
     (``nn``, ``core``, ``comm``, ``optim``, ``tensor``): wall-clock reads
@@ -75,6 +84,7 @@ from typing import Optional, Sequence
 
 RULES: tuple[str, ...] = (
     "raw-collectives",
+    "raw-collective-import",
     "wallclock",
     "rng",
     "float64-upcast",
@@ -108,6 +118,16 @@ HOT_PATH_MODULES: frozenset[str] = frozenset(
         "repro/nvme/aio.py",
         "repro/nvme/buffers.py",
         "repro/nvme/store.py",
+    }
+)
+
+#: The collective backend package: the only modules inside ``repro/comm/``
+#: allowed to import ``repro.comm.collectives`` directly (the functional
+#: module itself and the CommBackend implementations that wrap it).
+COLLECTIVE_BACKEND_MODULES: frozenset[str] = frozenset(
+    {
+        "repro/comm/collectives.py",
+        "repro/comm/backend.py",
     }
 )
 
@@ -208,6 +228,7 @@ class _Visitor(ast.NodeVisitor):
         self.rel = rel_path.replace(os.sep, "/")
         self.findings: list[LintFinding] = []
         self.in_comm = self.rel.startswith("repro/comm/")
+        self.in_backend_pkg = self.rel in COLLECTIVE_BACKEND_MODULES
         self.in_check = self.rel.startswith("repro/check/")
         self.numerics = any(self.rel.startswith(p) for p in NUMERICS_PACKAGES)
         self.hot = self.rel in HOT_PATH_MODULES
@@ -229,20 +250,38 @@ class _Visitor(ast.NodeVisitor):
         for alias in node.names:
             if alias.name == "random" or alias.name.startswith("random."):
                 self._random_aliases.add(alias.asname or "random")
-            if (
-                not self.in_comm
-                and alias.name.startswith("repro.comm.collectives")
-            ):
-                self._flag(
-                    node,
-                    "raw-collectives",
-                    "import of repro.comm.collectives outside repro.comm;"
-                    " use a ProcessGroup (accounted + fingerprinted)",
-                )
+            if alias.name.startswith("repro.comm.collectives"):
+                if not self.in_comm:
+                    self._flag(
+                        node,
+                        "raw-collectives",
+                        "import of repro.comm.collectives outside repro.comm;"
+                        " use a ProcessGroup (accounted + fingerprinted)",
+                    )
+                elif not self.in_backend_pkg:
+                    self._flag(
+                        node,
+                        "raw-collective-import",
+                        "import of repro.comm.collectives outside the backend"
+                        " package; route through a CommBackend so both"
+                        " execution models share one seam",
+                    )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         mod = node.module or ""
+        if self.in_comm and not self.in_backend_pkg:
+            if mod == "repro.comm.collectives" or (
+                mod == "repro.comm"
+                and any(a.name == "collectives" for a in node.names)
+            ):
+                self._flag(
+                    node,
+                    "raw-collective-import",
+                    "import of repro.comm.collectives outside the backend"
+                    " package; route through a CommBackend so both"
+                    " execution models share one seam",
+                )
         if not self.in_comm:
             if mod == "repro.comm.collectives":
                 self._flag(

@@ -98,6 +98,27 @@ def _cmd_throughput(args) -> int:
 
         n = write_sim_trace(args.trace, b.result)
         print(f"wrote {n} timeline events to {args.trace} (open in Perfetto)")
+    if args.backend:
+        from repro.workloads import CalibSpec, run_mp_training, run_training
+
+        spec = CalibSpec(world=args.calib_world, steps=3)
+        if args.backend == "mp":
+            run, _ = run_mp_training(spec)
+        else:
+            run = run_training(spec)
+        t = Table(
+            ["quantity", "value"],
+            title=f"Functional calibration ({args.backend} backend,"
+            f" world {spec.world})",
+        )
+        t.add_row(["measured steps/s", f"{run.steps_per_s:.2f}"])
+        t.add_row(["final loss", f"{run.losses[-1][0]:.4f}"])
+        t.add_row(["comm bytes", format_bytes(sum(run.comm_bytes_by_op.values()))])
+        if run.transport:
+            t.add_row(
+                ["shm exchange", format_bytes(int(run.transport["exchange_bytes"]))]
+            )
+        print(t.render())
     return 0
 
 
@@ -186,6 +207,47 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_train_demo(args) -> int:
+    if getattr(args, "backend", "loop") == "mp":
+        return _train_demo_mp(args)
+    return _train_demo_body(args)
+
+
+def _train_demo_mp(args) -> int:
+    """Process-parallel train-demo: one forked process per rank.
+
+    Every rank runs the full demo body (replicated state, rank-local
+    compute); non-rank-0 stdout is discarded so the output reads like the
+    loop run.  Per-rank tracer shards are merged into one multi-process
+    Chrome trace by the parent.
+    """
+    import contextlib
+    import os
+
+    from repro.comm import run_multiproc
+
+    perfreport = getattr(args, "perfreport", False)
+    want_trace = bool(args.trace or perfreport)
+
+    def worker(backend) -> int:
+        if backend.rank != 0:
+            with open(os.devnull, "w") as sink:
+                with contextlib.redirect_stdout(sink):
+                    return _train_demo_body(args, comm_backend=backend)
+        return _train_demo_body(args, comm_backend=backend)
+
+    out = run_multiproc(args.world, worker, trace=want_trace)
+    if args.trace and out.shards is not None:
+        from repro.obs import write_merged_chrome_trace
+
+        n = write_merged_chrome_trace(args.trace, out.shards)
+        print(
+            f"wrote {n} spans from {len(out.shards)} rank processes to"
+            f" {args.trace} (open in Perfetto)"
+        )
+    return max(out.results)
+
+
+def _train_demo_body(args, comm_backend=None) -> int:
     import contextlib
 
     from repro.core import OffloadConfig, OffloadDevice, ZeroConfig, ZeroInfinityEngine
@@ -200,12 +262,15 @@ def _cmd_train_demo(args) -> int:
     )
 
     perfreport = getattr(args, "perfreport", False)
-    if args.trace or perfreport:
+    distributed = comm_backend is not None
+    if (args.trace or perfreport) and not distributed:
         # perfreport post-processes spans, so it implies an enabled tracer
         from repro.obs import use_tracer
 
         trace_ctx = use_tracer()
     else:
+        # mp rank processes run under the launcher-installed tracer; the
+        # parent merges the per-rank shards into one Chrome trace
         trace_ctx = contextlib.nullcontext()
     memreport = getattr(args, "memreport", False)
     if memreport:
@@ -248,7 +313,12 @@ def _cmd_train_demo(args) -> int:
         zero_cfg,
         model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
         lr=5e-3,
+        comm_backend=comm_backend,
     ) as engine:
+        if tracer is None and (args.trace or perfreport):
+            from repro.obs import get_tracer
+
+            tracer = get_tracer()
         data = per_rank_batches(
             MarkovCorpus(128, seed=1),
             world_size=args.world,
@@ -268,7 +338,7 @@ def _cmd_train_demo(args) -> int:
             f" in {hist.wall_seconds:.1f}s;"
             f" NVMe traffic {format_bytes(rep.nvme_read_bytes + rep.nvme_write_bytes)}"
         )
-        if args.trace:
+        if args.trace and not distributed:
             from repro.obs import (
                 get_registry,
                 telemetry_summary,
@@ -454,6 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=str, default=None, metavar="PATH",
         help="write the simulated timeline as Chrome trace JSON",
     )
+    s.add_argument(
+        "--backend", type=str, default=None, choices=["loop", "mp"],
+        help="also run a small functional calibration workload on this"
+        " machine with the chosen collective backend and report its"
+        " measured steps/s next to the simulated numbers",
+    )
+    s.add_argument(
+        "--calib-world", type=int, default=2,
+        help="world size for the --backend calibration run (default 2)",
+    )
     s.set_defaults(fn=_cmd_throughput)
 
     s = sub.add_parser("memory", help="Sec. 3 memory profile")
@@ -487,6 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
         s.add_argument("--world", type=int, default=4)
         s.add_argument("--steps", type=int, default=10)
         s.add_argument("--hidden", type=int, default=64)
+        s.add_argument(
+            "--backend", type=str, default="loop", choices=["loop", "mp"],
+            help="collective backend: 'loop' runs every rank in-process"
+            " (the oracle); 'mp' forks one process per rank exchanging"
+            " through shared memory (bit-identical numerics, parallel"
+            " forward/backward)",
+        )
         s.add_argument(
             "--offload",
             type=str,

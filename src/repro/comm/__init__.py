@@ -9,8 +9,26 @@ the same collectives live in :mod:`repro.comm.cost` and feed the performance
 simulator.
 """
 
+from repro.comm.backend import (
+    BACKEND_NAMES,
+    CommBackend,
+    CommDivergence,
+    CommError,
+    CommPeerAbort,
+    CommTimeout,
+    LoopBackend,
+    make_backend,
+)
 from repro.comm.group import CommStats, ProcessGroup
-from repro.comm.collectives import (
+from repro.comm.launcher import (
+    MpRunResult,
+    MpSession,
+    MpWorkerFailed,
+    TraceShard,
+    run_multiproc,
+)
+from repro.comm.mp_backend import MultiprocBackend
+from repro.comm.collectives import (  # lint: allow-raw-collective-import
     allgather,
     allgather_into,
     allreduce,
@@ -30,8 +48,22 @@ from repro.comm.cost import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "CommBackend",
+    "CommDivergence",
+    "CommError",
+    "CommPeerAbort",
     "CommStats",
+    "CommTimeout",
+    "LoopBackend",
+    "MpRunResult",
+    "MpSession",
+    "MpWorkerFailed",
+    "MultiprocBackend",
     "ProcessGroup",
+    "TraceShard",
+    "make_backend",
+    "run_multiproc",
     "allgather",
     "allgather_into",
     "allreduce",

@@ -30,7 +30,14 @@ def _check_world(buffers: Sequence[np.ndarray]) -> int:
 
 
 def broadcast(buffers: Sequence[np.ndarray | None], root: int) -> list[np.ndarray]:
-    """Every rank receives a copy of the root's buffer."""
+    """Every rank receives a read-only view of one copy of the root's buffer.
+
+    One private copy is taken (so later writes to the root's buffer do not
+    retroactively change what was broadcast) and all ranks share read-only
+    views of it — O(1) copies instead of O(world).  Callers that need a
+    mutable result copy their view, exactly as after a real broadcast into
+    symmetric memory.
+    """
     world = len(buffers)
     if not 0 <= root < world:
         raise ValueError(f"root {root} out of range for world {world}")
@@ -38,19 +45,25 @@ def broadcast(buffers: Sequence[np.ndarray | None], root: int) -> list[np.ndarra
     if src is None:
         raise ValueError("root buffer must not be None")
     with trace_span("comm:broadcast", cat="comm", world=world, bytes=int(src.nbytes)):
-        return [src.copy() for _ in range(world)]
+        full = np.ascontiguousarray(src).reshape(-1).copy()
+        view = readonly_slice(full, 0, full.size).reshape(src.shape)
+        return [view for _ in range(world)]
 
 
 def allgather(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
     """Every rank receives the rank-order concatenation of all shards.
 
     Shards may be unequal length (Allgatherv semantics); each is flattened.
+    The concatenation is materialised **once** and every rank receives a
+    read-only view of it (no per-rank ``full.copy()`` — O(world) redundant
+    memcpy saved); callers that need a mutable result copy their view.
     """
     world = _check_world(shards)
     payload = sum(int(np.asarray(s).nbytes) for s in shards)
     with trace_span("comm:allgather", cat="comm", world=world, bytes=payload):
         full = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
-        return [full.copy() for _ in range(world)]
+        view = readonly_slice(full, 0, full.size)
+        return [view for _ in range(world)]
 
 
 def readonly_slice(owner: np.ndarray, start: int, count: int) -> np.ndarray:

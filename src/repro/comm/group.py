@@ -1,10 +1,10 @@
 """Process-group facade with data-movement accounting.
 
-:class:`ProcessGroup` wraps the functional collectives and records, per
-collective type, how many bytes crossed device boundaries.  Volume accounting
-follows the standard ring-algorithm convention used by the paper's Sec. 6.1
-argument (broadcast and allgather move the same volume): for a payload of
-``n`` bytes over ``p`` ranks,
+:class:`ProcessGroup` wraps a pluggable :class:`~repro.comm.backend.CommBackend`
+and records, per collective type, how many bytes crossed device boundaries.
+Volume accounting follows the standard ring-algorithm convention used by the
+paper's Sec. 6.1 argument (broadcast and allgather move the same volume): for
+a payload of ``n`` bytes over ``p`` ranks,
 
 * broadcast / allgather / reduce-scatter move ``(p-1)/p * n`` per rank,
 * allreduce moves ``2(p-1)/p * n`` per rank (reduce-scatter + allgather).
@@ -16,7 +16,19 @@ pollute the per-rank sequences): when a ``CheckContext`` with the
 fingerprint that :meth:`ProcessGroup.barrier` (and engine step boundaries)
 cross-check for would-be deadlocks; when ``zerosan`` is on, the zero-copy
 ``*_into`` variants register their shared output buffer so writes through
-an outstanding view are caught.
+an outstanding view are caught.  Every fingerprint is also folded into the
+backend's running CRC digest, which process-parallel backends carry in
+their rendezvous headers for **cross-process** divergence detection.
+
+Turn capture/echo (process-parallel mode): in the loop backend the engine
+runs every rank's forward/backward turn, so gather-path collectives are
+issued ``world`` times per module; a rank process runs only its own turn.
+The engine therefore captures the local turn's gather-path accounting
+(:meth:`begin_turn_capture` / :meth:`end_turn_capture`) and *echoes* it
+once per non-local turn (:meth:`echo_turns`) — fingerprints, CRC digest
+and ``CommStats`` stay bit-identical to the loop oracle by construction,
+because the replicated model issues the identical per-turn sequence in
+every process.
 """
 
 from __future__ import annotations
@@ -27,8 +39,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.check.runtime import CheckContext, get_checker
-from repro.comm import collectives as C
+from repro.comm.backend import CommBackend, LoopBackend
 from repro.obs.metrics import get_registry
+
+#: One captured gather-path collective: (op, dtypes, numels, stat_bytes).
+TurnJournal = list[tuple[str, list[str], list[int], int]]
 
 
 @dataclass
@@ -72,17 +87,36 @@ class CommStats:
 
 
 class ProcessGroup:
-    """A simulated communicator over ``world_size`` in-process ranks."""
+    """A simulated communicator over ``world_size`` ranks.
+
+    ``backend`` selects the execution model: the default
+    :class:`~repro.comm.backend.LoopBackend` keeps every rank in-process
+    (the original behaviour); a
+    :class:`~repro.comm.mp_backend.MultiprocBackend` makes this group the
+    rank-local endpoint of a process-parallel launch.  Call sites are
+    backend-agnostic — the facade's API and accounting are identical.
+    """
 
     def __init__(
-        self, world_size: int, *, check: Optional[CheckContext] = None
+        self,
+        world_size: int,
+        *,
+        check: Optional[CheckContext] = None,
+        backend: Optional[CommBackend] = None,
     ) -> None:
         if world_size <= 0:
             raise ValueError("world_size must be positive")
         self.world_size = world_size
+        self.backend = backend if backend is not None else LoopBackend(world_size)
+        if self.backend.world_size != world_size:
+            raise ValueError(
+                f"backend world {self.backend.world_size} !="
+                f" group world {world_size}"
+            )
         self.stats = CommStats()
         self._check = check if check is not None else get_checker()
         self._check_gid: Optional[int] = None
+        self._turn_journal: Optional[TurnJournal] = None
         ck = self._check
         if ck is not None and ck.collectives is not None:
             self._check_gid = ck.collectives.register_group(world_size)
@@ -91,18 +125,49 @@ class ProcessGroup:
         p = self.world_size
         return int(payload_bytes * (p - 1) / p)
 
+    # --- locality / cross-process passthrough -----------------------------------
+    @property
+    def all_local(self) -> bool:
+        """True when every simulated rank runs in this process."""
+        return self.backend.all_local
+
+    def exchange(self, payload: np.ndarray) -> list[np.ndarray]:
+        """All-gather a rank-local payload across rank *processes*.
+
+        Transport, not a simulated collective: deliberately **not**
+        recorded in :class:`CommStats` (the backend keeps private
+        counters), so the stats stay bit-identical to the loop oracle.
+        """
+        return self.backend.exchange(payload)
+
     # --- checker hooks ----------------------------------------------------------
     def _fingerprint(self, op: str, payloads: Sequence[np.ndarray]) -> None:
         """Record one collective's per-rank fingerprints (before executing,
         as a real collective would already be committed once issued)."""
         ck = self._check
-        if ck is None or ck.collectives is None:
+        checked = ck is not None and ck.collectives is not None
+        if not checked and self.backend.all_local:
             return
-        ck.collectives.record(
-            self._check_gid,
-            op,
-            [str(np.asarray(p).dtype) for p in payloads],
-            [int(np.asarray(p).size) for p in payloads],
+        dtypes = [str(np.asarray(p).dtype) for p in payloads]
+        numels = [int(np.asarray(p).size) for p in payloads]
+        if checked:
+            ck.collectives.record(self._check_gid, op, dtypes, numels)
+        if not self.backend.all_local:
+            self.backend.note_fingerprint(op, dtypes, numels)
+
+    def _journal(
+        self, op: str, payloads: Sequence[np.ndarray], nbytes: int
+    ) -> None:
+        """Capture a gather-path collective for later turn echoes."""
+        if self._turn_journal is None:
+            return
+        self._turn_journal.append(
+            (
+                op,
+                [str(np.asarray(p).dtype) for p in payloads],
+                [int(np.asarray(p).size) for p in payloads],
+                int(nbytes),
+            )
         )
 
     def _share(self, owner: np.ndarray, views: Sequence[np.ndarray]) -> None:
@@ -114,48 +179,71 @@ class ProcessGroup:
         ck.zerosan.reclaim(owner)
         ck.zerosan.register_shared(owner, views)
 
+    # --- turn capture / echo -----------------------------------------------------
+    def begin_turn_capture(self) -> None:
+        """Start journaling gather-path collectives of the local rank turn."""
+        self._turn_journal = []
+
+    def end_turn_capture(self) -> TurnJournal:
+        journal, self._turn_journal = self._turn_journal or [], None
+        return journal
+
+    def echo_turns(self, journal: TurnJournal, count: int) -> None:
+        """Replay a turn's gather-path accounting for ``count`` peer turns.
+
+        No data moves — peers executed these collectives in their own
+        processes; this replays the *observable* side (checker
+        fingerprints, CRC digest, ``CommStats``) so every process's
+        accounting matches the loop oracle's serialized rank loop.
+        """
+        ck = self._check
+        checked = ck is not None and ck.collectives is not None
+        for _ in range(max(count, 0)):
+            for op, dtypes, numels, nbytes in journal:
+                if checked:
+                    ck.collectives.record(self._check_gid, op, dtypes, numels)
+                if not self.backend.all_local:
+                    self.backend.note_fingerprint(op, dtypes, numels)
+                self.stats.record(op, nbytes)
+
     # --- collectives -----------------------------------------------------------
     def broadcast(
         self, buffers: Sequence[np.ndarray | None], root: int = 0
     ) -> list[np.ndarray]:
-        if self._check is not None and buffers[root] is not None:
+        if buffers[root] is not None:
             self._fingerprint("broadcast", [buffers[root]] * self.world_size)
-        out = C.broadcast(buffers, root)
-        self.stats.record(
-            "broadcast", self._per_rank_ring_volume(out[0].nbytes) * self.world_size
-        )
+        out = self.backend.broadcast(buffers, root)
+        vol = self._per_rank_ring_volume(out[0].nbytes) * self.world_size
+        self.stats.record("broadcast", vol)
+        self._journal("broadcast", [buffers[root]] * self.world_size, vol)
         return out
 
     def allgather(self, shards: Sequence[np.ndarray]) -> list[np.ndarray]:
-        if self._check is not None:
-            self._fingerprint("allgather", shards)
-        out = C.allgather(shards)
-        self.stats.record(
-            "allgather", self._per_rank_ring_volume(out[0].nbytes) * self.world_size
-        )
+        self._fingerprint("allgather", shards)
+        out = self.backend.allgather(shards)
+        vol = self._per_rank_ring_volume(out[0].nbytes) * self.world_size
+        self.stats.record("allgather", vol)
+        self._journal("allgather", shards, vol)
         return out
 
     def allgather_into(
         self, shards: Sequence[np.ndarray], out: np.ndarray
     ) -> list[np.ndarray]:
         """Allgather into a caller-owned reusable buffer (read-only views)."""
-        if self._check is not None:
-            self._fingerprint("allgather", shards)
-        views = C.allgather_into(shards, out)
+        self._fingerprint("allgather", shards)
+        views = self.backend.allgather_into(shards, out)
         if self._check is not None:
             self._share(out, views)
-        self.stats.record(
-            "allgather",
-            self._per_rank_ring_volume(views[0].nbytes) * self.world_size,
-        )
+        vol = self._per_rank_ring_volume(views[0].nbytes) * self.world_size
+        self.stats.record("allgather", vol)
+        self._journal("allgather", shards, vol)
         return views
 
     def reduce_scatter(
         self, buffers: Sequence[np.ndarray], *, op: str = "sum"
     ) -> list[np.ndarray]:
-        if self._check is not None:
-            self._fingerprint("reduce_scatter", buffers)
-        out = C.reduce_scatter(buffers, op=op)
+        self._fingerprint("reduce_scatter", buffers)
+        out = self.backend.reduce_scatter(buffers, op=op)
         self.stats.record(
             "reduce_scatter",
             self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
@@ -166,9 +254,8 @@ class ProcessGroup:
         self, buffers: Sequence[np.ndarray], out: np.ndarray, *, op: str = "sum"
     ) -> list[np.ndarray]:
         """Reduce-scatter into a caller-owned reusable buffer."""
-        if self._check is not None:
-            self._fingerprint("reduce_scatter", buffers)
-        views = C.reduce_scatter_into(buffers, out, op=op)
+        self._fingerprint("reduce_scatter", buffers)
+        views = self.backend.reduce_scatter_into(buffers, out, op=op)
         if self._check is not None:
             self._share(out, views)
         self.stats.record(
@@ -180,9 +267,8 @@ class ProcessGroup:
     def allreduce(
         self, buffers: Sequence[np.ndarray], *, op: str = "sum"
     ) -> list[np.ndarray]:
-        if self._check is not None:
-            self._fingerprint("allreduce", buffers)
-        out = C.allreduce(buffers, op=op)
+        self._fingerprint("allreduce", buffers)
+        out = self.backend.allreduce(buffers, op=op)
         self.stats.record(
             "allreduce",
             2 * self._per_rank_ring_volume(buffers[0].nbytes) * self.world_size,
@@ -192,28 +278,30 @@ class ProcessGroup:
     def gather(
         self, shards: Sequence[np.ndarray], root: int = 0
     ) -> list[np.ndarray | None]:
-        if self._check is not None:
-            self._fingerprint("gather", shards)
-        out = C.gather(shards, root)
+        self._fingerprint("gather", shards)
+        out = self.backend.gather(shards, root)
         payload = sum(int(np.asarray(s).nbytes) for s in shards)
         self.stats.record("gather", payload)
         return out
 
     def scatter(self, full: np.ndarray, root: int = 0) -> list[np.ndarray]:
-        if self._check is not None:
-            self._fingerprint("scatter", [full] * self.world_size)
-        out = C.scatter(full, self.world_size, root)
+        self._fingerprint("scatter", [full] * self.world_size)
+        out = self.backend.scatter(full, self.world_size, root)
         self.stats.record("scatter", int(np.asarray(full).nbytes))
         return out
 
     def barrier(self) -> None:
-        """No-op in a single-process simulation; kept for API parity.
+        """Synchronization point; a real rendezvous under the mp backend.
 
-        With the collective-ordering checker installed this is a real
-        synchronization point: the per-rank fingerprint sequences are
-        cross-checked and divergence reported as the deadlock it would be.
+        With the collective-ordering checker installed the per-rank
+        fingerprint sequences are cross-checked and divergence reported as
+        the deadlock it would be; under a process-parallel backend the
+        ranks additionally rendezvous through a digest-carrying
+        :meth:`~repro.comm.backend.CommBackend.step_sync` barrier.
         """
         ck = self._check
         if ck is not None and ck.collectives is not None:
             ck.collectives.cross_check(self._check_gid)
+        if not self.backend.all_local:
+            self.backend.step_sync()
         self.stats.record("barrier", 0)

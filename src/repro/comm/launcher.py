@@ -1,0 +1,205 @@
+"""Launch-and-rendezvous for the multiprocessing backend.
+
+:func:`run_multiproc` is the single entry point: it creates the shared
+segment and rendezvous barrier (:class:`MpSession`), forks one process
+per rank, runs ``fn(backend)`` in each with a rank-local
+:class:`~repro.comm.mp_backend.MultiprocBackend`, and collects one result
+per rank — plus per-rank tracer shards when ``trace=True``, ready for
+:func:`repro.obs.export.write_merged_chrome_trace`.
+
+``fork`` is used deliberately (Linux-only repo): children inherit the
+shared-memory mapping, the barrier, and the worker closure directly, so
+nothing needs pickling on the way in (results ride back over a pipe and
+must be picklable).  The parent should be thread-quiet at launch time —
+close any engine (and its aio worker threads) before calling.
+
+Cleanup guarantees (the chaos-run contract):
+
+* the segment is unlinked by a ``with``/``finally`` in
+  :func:`run_multiproc` on every path, including worker crashes;
+* :class:`MpSession` registers an ``atexit`` backstop in the parent (it
+  no-ops in forked children, which share the hook but not ownership);
+* a rank killed mid-step (SIGKILL, OOM) is detected by the parent's
+  monitor loop, the remaining ranks are terminated, and the segment is
+  unlinked before :class:`MpWorkerFailed` propagates — so crashed runs
+  never leak ``/dev/shm`` segments (pinned by a regression test).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.comm.mp_backend import MultiprocBackend
+from repro.comm.shm import SharedRing
+
+
+class MpWorkerFailed(RuntimeError):
+    """A rank process died or reported an error; the run was torn down."""
+
+    def __init__(self, rank: int, detail: str) -> None:
+        super().__init__(f"rank {rank}: {detail}")
+        self.rank = rank
+        self.detail = detail
+
+
+class MpSession:
+    """Owns the shared segment + barrier for one multiprocess launch."""
+
+    def __init__(
+        self,
+        world_size: int,
+        *,
+        slot_capacity: int = 1 << 20,
+        timeout: float = 120.0,
+    ) -> None:
+        self.world_size = world_size
+        self.timeout = timeout
+        self.ctx = multiprocessing.get_context("fork")
+        self.ring = SharedRing(world_size, slot_capacity=slot_capacity)
+        self.barrier = self.ctx.Barrier(world_size)
+        self._owner_pid = os.getpid()
+        self._closed = False
+        atexit.register(self.cleanup)
+
+    def cleanup(self) -> None:
+        """Unlink the segment (idempotent; owner process only).
+
+        Forked children inherit the parent's atexit hook; the pid guard
+        keeps a child's exit from unlinking the segment under its
+        siblings.
+        """
+        if self._closed or os.getpid() != self._owner_pid:
+            return
+        self._closed = True
+        atexit.unregister(self.cleanup)
+        self.ring.destroy()
+
+    def __enter__(self) -> "MpSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+
+@dataclass
+class TraceShard:
+    """One rank's tracer output, mergeable into a single Chrome trace."""
+
+    rank: int
+    records: list
+    lanes: dict[int, str]
+    dropped: int
+
+
+@dataclass
+class MpRunResult:
+    """Per-rank worker return values (and trace shards when requested)."""
+
+    results: list[Any]
+    shards: Optional[list[TraceShard]] = None
+
+
+def _worker(session: MpSession, rank: int, fn, conn, trace: bool) -> None:
+    backend = MultiprocBackend(session, rank)
+    try:
+        if trace:
+            from repro.obs import use_tracer
+
+            with use_tracer() as tracer:
+                value = fn(backend)
+            shard = TraceShard(
+                rank, tracer.records(), tracer.lane_names(), tracer.dropped
+            )
+        else:
+            value = fn(backend)
+            shard = None
+        conn.send(("ok", value, shard))
+    except BaseException as err:  # noqa: BLE001 - forwarded to the parent
+        # break peers out of any rendezvous before reporting: a sibling
+        # stuck in a barrier would otherwise wait out the full timeout
+        backend.signal_abort(terminal=True)
+        try:
+            conn.send(
+                ("err", f"{type(err).__name__}: {err}", traceback.format_exc())
+            )
+        except (OSError, ValueError):
+            pass  # parent already gone or result unpicklable; exit code tells
+    finally:
+        conn.close()
+
+
+def run_multiproc(
+    world_size: int,
+    fn: Callable[[MultiprocBackend], Any],
+    *,
+    trace: bool = False,
+    timeout: float = 120.0,
+    slot_capacity: int = 1 << 20,
+) -> MpRunResult:
+    """Run ``fn(backend)`` in one forked process per rank; gather results.
+
+    ``fn`` receives the rank-local backend and its return value (which
+    must be picklable) is collected per rank.  Any rank error or death
+    tears the launch down (terminate + unlink) and raises
+    :class:`MpWorkerFailed`.
+    """
+    with MpSession(
+        world_size, slot_capacity=slot_capacity, timeout=timeout
+    ) as session:
+        procs = []
+        conns = []
+        for rank in range(world_size):
+            parent_conn, child_conn = session.ctx.Pipe(duplex=False)
+            proc = session.ctx.Process(
+                target=_worker,
+                args=(session, rank, fn, child_conn, trace),
+                daemon=True,
+                name=f"repro-mp-rank{rank}",
+            )
+            procs.append(proc)
+            conns.append(parent_conn)
+        try:
+            for proc in procs:
+                proc.start()
+            replies: list[Any] = [None] * world_size
+            pending = set(range(world_size))
+            while pending:
+                for rank in sorted(pending):
+                    if conns[rank].poll(0.05):
+                        replies[rank] = conns[rank].recv()
+                        pending.discard(rank)
+                for rank in sorted(pending):
+                    if not procs[rank].is_alive():
+                        # exited without reporting — drain any message that
+                        # raced the exit before declaring the rank dead
+                        if conns[rank].poll(0.5):
+                            replies[rank] = conns[rank].recv()
+                            pending.discard(rank)
+                            continue
+                        raise MpWorkerFailed(
+                            rank,
+                            f"process died without reporting"
+                            f" (exitcode {procs[rank].exitcode})",
+                        )
+            for rank, reply in enumerate(replies):
+                if reply[0] == "err":
+                    raise MpWorkerFailed(
+                        rank, f"{reply[1]}\n--- worker traceback ---\n{reply[2]}"
+                    )
+            for proc in procs:
+                proc.join(timeout=10.0)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for conn in conns:
+                conn.close()
+    results = [reply[1] for reply in replies]
+    shards = [reply[2] for reply in replies] if trace else None
+    return MpRunResult(results=results, shards=shards)

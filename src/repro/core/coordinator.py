@@ -211,6 +211,20 @@ class ParameterCoordinator:
         """Bank this rank's gradient; reduce when every rank contributed."""
         if param.grad is None:
             return
+        if not self.comm.all_local:
+            # Process-parallel mode: peers computed their ranks' gradients
+            # in their own processes.  All-gather the full per-rank
+            # gradients across processes, then run the reduction replicated
+            # — every process executes the identical reduce over identical
+            # inputs, so the result (and its CommStats) is bit-identical
+            # to the loop oracle's in-process banking.
+            grad = param.grad
+            param.grad = None
+            grads = [
+                g.reshape(grad.shape) for g in self.comm.exchange(grad)
+            ]
+            self._reduce_and_stash(param, grads)
+            return
         pending = self._pending_grads.setdefault(
             param.unique_id, [None] * self.config.world_size
         )

@@ -22,6 +22,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.check.runtime import CheckContext, context_from_config, get_checker
+from repro.comm.backend import CommBackend, CommPeerAbort
 from repro.comm.group import ProcessGroup
 from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
 from repro.core.coordinator import ParameterCoordinator
@@ -187,6 +188,7 @@ class ZeroInfinityEngine:
         ledger: Optional[MemoryLedger] = None,
         intercept_parameter_access: bool = True,
         introspect_activations: bool = False,
+        comm_backend: Optional[CommBackend] = None,
     ) -> None:
         if (model is None) == (model_factory is None):
             raise ValueError("provide exactly one of model / model_factory")
@@ -198,7 +200,9 @@ class ZeroInfinityEngine:
         self.check_context: Optional[CheckContext] = (
             context_from_config(config.check) or get_checker()
         )
-        self.comm = ProcessGroup(config.world_size, check=self.check_context)
+        self.comm = ProcessGroup(
+            config.world_size, check=self.check_context, backend=comm_backend
+        )
         self.ledger = ledger
         self.offload = InfinityOffloadEngine(
             config.offload, ledger=ledger, check=self.check_context
@@ -363,17 +367,38 @@ class ZeroInfinityEngine:
             # FaultUnrecoverable is deliberately not retried: it marks
             # state (a part-updated optimizer shard, an unhealable record)
             # that replay cannot reconstruct.
+            #
+            # Under a process-parallel backend the replay is a *collective*
+            # decision: the faulting rank flags the abort in shared memory
+            # and breaks the rendezvous barrier, peers surface the break as
+            # CommPeerAbort (an OSError, so it rides the same replay tier),
+            # and every rank passes through recover_after_abort before the
+            # bit-identical replay.  Terminal errors flag terminal so peers
+            # fail fast instead of waiting out their barrier timeout.
             attempt = 0
+            backend = self.comm.backend
+            distributed = not self.comm.all_local
             while True:
                 try:
                     return self._train_step_traced(rounds)
                 except (FaultUnrecoverable, AllocationError):
                     # a modeled capacity cap is a configuration error, not
                     # a transient device fault: replaying cannot help
+                    if distributed:
+                        backend.signal_abort(terminal=True)
                     raise
                 except (OSError, MemoryError) as err:
                     if attempt >= self.config.step_retries:
+                        if distributed:
+                            backend.signal_abort(terminal=True)
                         raise
+                    if distributed:
+                        # a locally-raised fault still has peers parked in
+                        # a rendezvous; a CommPeerAbort means a peer already
+                        # broke the barrier for us
+                        if not isinstance(err, CommPeerAbort):
+                            backend.signal_abort(terminal=False)
+                        backend.recover_after_abort()
                     attempt += 1
                     self.step_retries_used += 1
                     get_registry().counter("faults.step_retries").inc()
@@ -381,6 +406,10 @@ class ZeroInfinityEngine:
                         "engine:step_retry", cat="engine",
                         attempt=attempt, error=type(err).__name__,
                     )
+                except BaseException:
+                    if distributed:
+                        backend.signal_abort(terminal=True)
+                    raise
 
     def _train_step_traced(
         self,
@@ -388,12 +417,25 @@ class ZeroInfinityEngine:
     ) -> StepResult:
         scale = self.scaler.loss_scale
         losses: list[float] = []
+        world = self.config.world_size
+        # Process-parallel mode: this process computes only its own rank's
+        # forward/backward; peers run theirs concurrently.  begin_rank still
+        # fires for every rank (the fault plane's site schedule and the
+        # coordinator's rank bookkeeping must advance identically in every
+        # process), but the compute is skipped for non-local ranks and its
+        # gather-path accounting is echoed instead (see ProcessGroup docs).
+        distributed = not self.comm.all_local
         mem_sample("step_begin")
         try:
             self.coordinator.begin_accumulation()
             for batches in rounds:
+                journal = None
                 for rank, batch in enumerate(batches):
                     self.coordinator.begin_rank(rank)
+                    if distributed and not self.comm.backend.is_local(rank):
+                        continue
+                    if distributed:
+                        self.comm.begin_turn_capture()
                     if self.prefetcher is not None:
                         self.prefetcher.begin_iteration()
                     with trace_span("engine:forward", cat="engine", rank=rank):
@@ -404,9 +446,27 @@ class ZeroInfinityEngine:
                         self.coordinator.end_rank_backward()
                     if self.prefetcher is not None:
                         self.prefetcher.end_iteration()
+                    if distributed:
+                        journal = self.comm.end_turn_capture()
                 self.coordinator.assert_no_pending()
+                if distributed and journal is not None:
+                    self.comm.echo_turns(journal, world - 1)
             self.coordinator.end_accumulation()
             self.coordinator.flush_grad_offload()
+            if distributed:
+                # Collect every rank's per-round losses so the StepResult is
+                # identical to the loop oracle's (rank-major within rounds),
+                # then rendezvous: the digest carried by step_sync catches
+                # any rank whose step issued a diverged collective sequence.
+                per_rank = self.comm.exchange(
+                    np.asarray(losses, dtype=np.float64)
+                )
+                losses = [
+                    float(per_rank[r][i])
+                    for i in range(len(rounds))
+                    for r in range(world)
+                ]
+                self.comm.backend.step_sync()
         except Exception:
             # Unwind cleanly: release gathered params, drop banked grads and
             # bucket contents, drain async writes — so the engine (and any

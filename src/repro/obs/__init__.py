@@ -93,9 +93,11 @@ from repro.obs.metrics import (
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
+    merged_chrome_trace,
     sim_to_chrome_trace,
     telemetry_summary,
     write_chrome_trace,
+    write_merged_chrome_trace,
     write_sim_trace,
     write_spans_jsonl,
 )
@@ -152,9 +154,11 @@ __all__ = [
     "get_registry",
     "chrome_trace",
     "chrome_trace_events",
+    "merged_chrome_trace",
     "sim_to_chrome_trace",
     "telemetry_summary",
     "write_chrome_trace",
+    "write_merged_chrome_trace",
     "write_sim_trace",
     "write_spans_jsonl",
 ]

@@ -6,6 +6,13 @@ meaningful in tests and examples), plus the schedule/trainer scaffolding a
 downstream user expects from a training library.
 """
 
+from repro.workloads.calibrate import (
+    CalibRun,
+    CalibSpec,
+    run_mp_training,
+    run_training,
+    state_digest,
+)
 from repro.workloads.data import (
     CopyTaskDataset,
     MarkovCorpus,
@@ -20,6 +27,11 @@ from repro.workloads.trainer import Trainer, TrainerConfig
 from repro.workloads.metrics import MetricsLogger, iter_losses, read_metrics
 
 __all__ = [
+    "CalibRun",
+    "CalibSpec",
+    "run_mp_training",
+    "run_training",
+    "state_digest",
     "MetricsLogger",
     "iter_losses",
     "read_metrics",

@@ -1,0 +1,31 @@
+"""Bug: a comm-package helper reaches past the backend seam.
+
+A hypothetical ``repro/comm/fastpath.py`` imports the functional
+collectives directly instead of calling them through a
+:class:`~repro.comm.backend.CommBackend`.  Under the loop backend this
+works by accident; under the multiprocessing backend the call silently
+operates on one process's replicated buffers without the rendezvous,
+fingerprint, or accounting the backend provides — the two execution
+models drift apart and the divergence checker never sees it.  The
+``raw-collective-import`` lint rule pins the seam: inside ``repro/comm/``
+only ``collectives.py`` itself and ``backend.py`` may import the
+functional module (a deliberate package re-export carries
+``# lint: allow-raw-collective-import``).
+
+Static corpus: this file is never imported by the runtime checker harness;
+``tests/test_lint.py`` lints its source as if it lived at ``LINT_AS``.
+"""
+
+LINT_AS = "repro/comm/fastpath.py"
+EXPECT = "raw-collective-import"
+
+try:  # <- the bug: bypasses the CommBackend seam
+    from repro.comm.collectives import allgather
+except ImportError:  # corpus snippet is linted, not run against src/
+    allgather = None
+
+
+def gather_all(shards):
+    # loop-backend-only semantics smuggled into the package: under the
+    # mp backend this never rendezvouses with peer processes
+    return allgather(shards)

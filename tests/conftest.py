@@ -2,11 +2,48 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.nn import GPTModel, TransformerConfig
 from repro.utils.rng import seeded_rng
+
+#: Default wall-clock deadline for one ``@pytest.mark.mp`` test.  The mp
+#: launcher has its own rendezvous timeout, but a bug in the launcher
+#: itself (or a worker wedged before the barrier exists) would hang the
+#: whole suite — the alarm turns that into a failed test.
+MP_TEST_TIMEOUT_S = 180
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Arm a SIGALRM deadline around ``mp``-marked tests.
+
+    ``signal.alarm`` timers are *not* inherited across ``fork`` (POSIX
+    clears the pending alarm in the child), so rank worker processes
+    never see the signal — only the parent test process can trip it.
+    Override per test with ``@pytest.mark.mp(timeout=...)``.
+    """
+    marker = item.get_closest_marker("mp")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    deadline = int(marker.kwargs.get("timeout", MP_TEST_TIMEOUT_S))
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"mp test exceeded its {deadline}s deadline (likely a wedged"
+            f" rank rendezvous; see repro.comm.launcher timeouts)"
+        )
+
+    prev_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(deadline)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, prev_handler)
 
 
 @pytest.fixture

@@ -31,9 +31,20 @@ class TestBroadcast:
         for o in out:
             np.testing.assert_array_equal(o, [1.0, 2.0])
 
-    def test_copies_are_independent(self):
+    def test_ranks_share_one_readonly_view(self):
+        # O(1) copies: every rank aliases one private copy of the root's
+        # payload, read-only so no rank can mutate what the others see
         out = broadcast([np.zeros(2), None], root=0)
-        out[0][0] = 5
+        assert np.shares_memory(out[0], out[1])
+        for o in out:
+            assert not o.flags.writeable
+            with pytest.raises(ValueError):
+                o[0] = 5
+
+    def test_broadcast_detached_from_root_buffer(self):
+        root_buf = np.zeros(2)
+        out = broadcast([root_buf, None], root=0)
+        root_buf[0] = 9  # later writes must not leak into the broadcast
         assert out[1][0] == 0
 
     def test_nonzero_root(self):

@@ -41,9 +41,37 @@ class TestRules:
             "raw-collectives"
         ]
 
-    def test_comm_package_may_use_collectives(self):
+    def test_backend_package_may_use_collectives(self):
         src = "from repro.comm.collectives import allgather\n"
-        assert lint_source(src, "repro/comm/group.py") == []
+        assert lint_source(src, "repro/comm/collectives.py") == []
+        assert lint_source(src, "repro/comm/backend.py") == []
+
+    def test_comm_package_outside_backend_flagged(self):
+        src = "from repro.comm.collectives import allgather\n"
+        assert rules_of(lint_source(src, "repro/comm/group.py")) == [
+            "raw-collective-import"
+        ]
+
+    def test_comm_package_module_import_flagged(self):
+        src = "import repro.comm.collectives as C\n"
+        assert rules_of(lint_source(src, "repro/comm/mp_backend.py")) == [
+            "raw-collective-import"
+        ]
+
+    def test_comm_package_from_package_import_flagged(self):
+        src = "from repro.comm import collectives\n"
+        assert rules_of(lint_source(src, "repro/comm/launcher.py")) == [
+            "raw-collective-import"
+        ]
+
+    def test_raw_collective_import_suppression(self):
+        src = (
+            "from repro.comm.collectives import (  "
+            "# lint: allow-raw-collective-import\n"
+            "    allgather,\n"
+            ")\n"
+        )
+        assert lint_source(src, "repro/comm/__init__.py") == []
 
     def test_package_level_comm_import_ok(self):
         src = "from repro.comm import readonly_slice\n"

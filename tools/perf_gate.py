@@ -85,6 +85,12 @@ def measure_memscope() -> dict:
     }
 
 
+def measure_mp() -> dict:
+    from repro.workloads.calibrate import measure_mp_speedup
+
+    return measure_mp_speedup()
+
+
 def gate_rows(name: str, baseline: dict, measured: dict) -> list[tuple]:
     """(metric, baseline, measured, tolerance description, ok) rows."""
     rows: list[tuple] = []
@@ -149,10 +155,14 @@ def render_rows(rows: list[tuple]) -> str:
     return t.render()
 
 
-def run_gate(*, skip_memscope: bool = False, update: bool = False) -> int:
+def run_gate(
+    *, skip_memscope: bool = False, skip_mp: bool = False, update: bool = False
+) -> int:
     targets = [("perfscope", "BENCH_perfscope.json", measure_perfscope)]
     if not skip_memscope:
         targets.append(("memscope", "BENCH_memscope.json", measure_memscope))
+    if not skip_mp:
+        targets.append(("mp", "BENCH_mp.json", measure_mp))
 
     rows: list[tuple] = []
     missing: list[str] = []
@@ -194,8 +204,16 @@ def main(argv=None) -> int:
         "--skip-memscope", action="store_true",
         help="gate only the perfscope baseline",
     )
+    ap.add_argument(
+        "--skip-mp", action="store_true",
+        help="skip the multiprocessing-backend throughput baseline",
+    )
     args = ap.parse_args(argv)
-    return run_gate(skip_memscope=args.skip_memscope, update=args.update)
+    return run_gate(
+        skip_memscope=args.skip_memscope,
+        skip_mp=args.skip_mp,
+        update=args.update,
+    )
 
 
 if __name__ == "__main__":
