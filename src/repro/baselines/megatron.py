@@ -20,7 +20,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.comm import collectives as C
+# The Megatron baseline deliberately models raw per-slice collectives to
+# contrast with the ProcessGroup-mediated ZeRO path.
+from repro.comm import collectives as C  # lint: allow-raw-collectives
 from repro.nn import functional as F
 from repro.nn.layers import Linear
 from repro.nn.module import Module

@@ -1,6 +1,6 @@
-"""repro.check: runtime sanitizers and static lint for ZeRO invariants.
+"""repro.check: runtime sanitizers, static lint, and schedule verification.
 
-Four cooperating passes over one violation taxonomy
+Four cooperating runtime passes over one violation taxonomy
 (:class:`~repro.check.violations.CheckViolation`):
 
 * :mod:`repro.check.zerosan` — parameter-lifecycle state machine and
@@ -13,12 +13,20 @@ Four cooperating passes over one violation taxonomy
   threaded aio engine and the pinned-buffer pool;
 * :mod:`repro.check.lint` — AST lint enforcing repo invariants statically
   (no raw collectives, no wall-clock/global-RNG numerics, no silent
-  float64 upcasts, no writeable-flag flips).
+  float64 upcasts, no writeable-flag flips) plus the interprocedural
+  SPMD-discipline rules (rank-divergent collectives, read-only view
+  escapes, shm use-after-unlink).
 
-Enable via ``ZeroConfig(check=CheckConfig(...))``, ``--check`` on the CLI,
-``REPRO_CHECK=all`` in the environment, or :func:`use_checker` in tests.
-Everything is off by default and the disabled fast path is one global load
-plus an ``is None`` test per event site (see :mod:`repro.check.overhead`).
+And one *static* subsystem, :mod:`repro.check.static`, which proves
+collective matching, deadlock freedom, and lock discipline of the
+communication schedule before a rank process launches
+(``repro check-static`` / ``tools/static_gate.py``).
+
+Enable the runtime passes via ``ZeroConfig(check=CheckConfig(...))``,
+``--check`` on the CLI, ``REPRO_CHECK=all`` in the environment, or
+:func:`use_checker` in tests.  Everything is off by default and the
+disabled fast path is one global load plus an ``is None`` test per event
+site (see :mod:`repro.check.overhead`).
 """
 
 from repro.check.collectives import CollectiveFingerprint, CollectiveOrderChecker
@@ -35,6 +43,21 @@ from repro.check.runtime import (
 from repro.check.violations import VIOLATION_KINDS, CheckViolation
 from repro.check.zerosan import ZeroSan
 
+# imported last: repro.check.static.extract reaches back into repro.comm,
+# which in turn imports repro.check.runtime (already bound above)
+from repro.check.static import (
+    STATIC_FINDING_KINDS,
+    ScheduleBuilder,
+    ScheduleEvent,
+    ScheduleIR,
+    ScheduleSpec,
+    StaticFinding,
+    SymbolicBackend,
+    extract_schedule,
+    run_static_check,
+    verify_schedule,
+)
+
 __all__ = [
     "AioRaceDetector",
     "CheckConfig",
@@ -45,12 +68,22 @@ __all__ = [
     "LintFinding",
     "LintReport",
     "PASS_NAMES",
+    "STATIC_FINDING_KINDS",
+    "ScheduleBuilder",
+    "ScheduleEvent",
+    "ScheduleIR",
+    "ScheduleSpec",
+    "StaticFinding",
+    "SymbolicBackend",
     "VIOLATION_KINDS",
     "ZeroSan",
     "context_from_config",
+    "extract_schedule",
     "get_checker",
     "install_checker",
     "lint_source",
     "run_lint",
+    "run_static_check",
     "use_checker",
+    "verify_schedule",
 ]

@@ -69,6 +69,40 @@ runtime passes rely on:
     ``perfscope.stall_span(cause, owner=...)``; a deliberate throttle
     outside the step path carries ``# lint: allow-untraced-wait``.
 
+Three *interprocedural* rules ride on a repo-wide :class:`ProgramIndex`
+(call graph + view-returning functions), extending the lint beyond
+single-function pattern matching:
+
+``rank-divergent-collective``
+    In the SPMD simulation layers (``repro/core/``, ``repro/optim/``,
+    ``repro/nn/``, ``repro/tensor/``) a collective — direct or through
+    any function the index knows issues one — must not be reachable only
+    under a ``rank``-dependent predicate (``if rank == 0: ...``, an
+    ``is_local`` guard, or the remainder of a block after a
+    rank-predicated ``continue``/``return``).  One rank skipping a
+    collective is the deadlock the runtime reports as
+    ``collective-divergence``; the transport layer (``repro/comm/``)
+    owns the legitimately asymmetric recovery protocol and is exempt.
+    Deliberate protocol sites carry
+    ``# lint: allow-rank-divergent-collective``.
+
+``readonly-view-escape``
+    A buffer obtained from ``broadcast``/``allgather``/
+    ``allgather_into``/``reduce_scatter_into``/``readonly_slice`` (or a
+    function the index knows returns one) is a read-only view of shared
+    storage; writing through it — subscript store, augmented assignment,
+    ``np.copyto``, ``.fill(...)``, or a ``.flags.writeable`` flip —
+    corrupts every rank sharing the base.  Tracked per function through
+    aliases, subscripts and loop targets.
+
+``shm-use-after-unlink``
+    After ``SharedRing.destroy()`` / ``.close()`` / ``.unlink()``, the
+    segment's buffer is gone: any later data access (``publish``,
+    ``read_header``, abort/recovery flags, ``.buf``) through the same
+    object is a use-after-free on shared memory.  Lifecycle calls
+    themselves stay allowed (``destroy`` is close-then-unlink and
+    idempotent).
+
 A finding can be suppressed with a same-line ``# lint: allow-<rule>``
 comment; pre-existing debt is pinned in ``tools/lint_baseline.json`` so
 only *new* violations fail CI.
@@ -92,6 +126,9 @@ RULES: tuple[str, ...] = (
     "rawalloc",
     "swallowed-oserror",
     "untraced-wait",
+    "rank-divergent-collective",
+    "readonly-view-escape",
+    "shm-use-after-unlink",
 )
 
 #: Packages whose numerics must be deterministic and clock-free.
@@ -534,11 +571,525 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, rel_path: str) -> list[LintFinding]:
-    """Lint one module's source text (unit of both the CLI and the tests)."""
+# --- interprocedural passes -----------------------------------------------------
+#: Modules where the SPMD discipline applies: every rank must issue the
+#: same collective sequence.  The transport (``repro/comm/``) owns the
+#: legitimately asymmetric pieces (rank-0 recovery polling, launcher).
+RANK_SPMD_MODULES: tuple[str, ...] = (
+    "repro/core/",
+    "repro/optim/",
+    "repro/nn/",
+    "repro/tensor/",
+)
+
+#: Call names that directly block on peers: the functional collectives
+#: plus the process-group / backend rendezvous primitives.
+COLLECTIVE_ISSUE_NAMES: frozenset[str] = FUNCTIONAL_COLLECTIVES | frozenset(
+    {"barrier", "step_sync", "exchange", "recover_after_abort"}
+)
+
+#: Calls whose result is (or may be) a read-only view of shared storage.
+VIEW_SOURCES: frozenset[str] = frozenset(
+    {
+        "broadcast",
+        "allgather",
+        "allgather_into",
+        "reduce_scatter_into",
+        "readonly_slice",
+    }
+)
+
+#: In-place mutators that count as writes through a view.
+_VIEW_MUTATORS: frozenset[str] = frozenset({"fill", "sort", "put", "partition"})
+
+#: SharedRing lifecycle enders vs. data accessors (see repro/comm/shm.py).
+SHM_LIFECYCLE_METHODS: frozenset[str] = frozenset({"close", "unlink", "destroy"})
+SHM_USE_METHODS: frozenset[str] = frozenset(
+    {
+        "publish",
+        "read_header",
+        "read_data",
+        "set_abort",
+        "abort_kinds",
+        "clear_aborts",
+        "ack_recovery",
+        "all_recovered",
+        "set_epoch",
+        "epoch",
+        "buf",
+    }
+)
+
+_TERMINATORS = (ast.Continue, ast.Break, ast.Return, ast.Raise)
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class ProgramIndex:
+    """Repo-wide facts the interprocedural rules consult.
+
+    Built once per lint run over every module (``build_program_index``);
+    :func:`lint_source` falls back to a single-module index so snippets
+    and tests stay self-contained.  Functions are keyed by simple name —
+    a deliberate over-approximation (any ``x.flush()`` resolves to every
+    ``def flush``) that favours recall; precision comes from the narrow
+    trigger contexts (rank-dependent predicates, tainted names).
+    """
+
+    collective_callers: frozenset[str]
+    view_returners: frozenset[str]
+
+
+def _called_name(call: ast.Call) -> Optional[str]:
+    chain = _attr_chain(call.func)
+    return chain[-1] if chain else None
+
+
+def _is_view_source_expr(expr: ast.AST, sources: frozenset[str]) -> bool:
+    """``sources`` call, possibly behind a subscript (``allgather(x)[0]``)."""
+    if isinstance(expr, ast.Subscript):
+        return _is_view_source_expr(expr.value, sources)
+    if isinstance(expr, ast.Call):
+        name = _called_name(expr)
+        return name is not None and name in sources
+    return False
+
+
+def build_program_index(trees: dict[str, ast.AST]) -> ProgramIndex:
+    """Call-graph fixpoint over ``{rel_path: parsed module}``."""
+    calls: dict[str, set[str]] = {}
+    returns_call_to: dict[str, set[str]] = {}
+    callers: set[str] = set()
+    view_returners: set[str] = set()
+
+    for tree in trees.values():
+        for fn in ast.walk(tree):
+            if not isinstance(fn, _FUNC_NODES):
+                continue
+            called = calls.setdefault(fn.name, set())
+            tainted: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    name = _called_name(node)
+                    if name:
+                        called.add(name)
+                        if name in COLLECTIVE_ISSUE_NAMES:
+                            callers.add(fn.name)
+                elif isinstance(node, ast.Assign):
+                    if _is_view_source_expr(node.value, VIEW_SOURCES):
+                        for t in node.targets:
+                            if isinstance(t, ast.Name):
+                                tainted.add(t.id)
+                elif isinstance(node, ast.Return) and node.value is not None:
+                    v = node.value
+                    if _is_view_source_expr(v, VIEW_SOURCES):
+                        view_returners.add(fn.name)
+                    elif isinstance(v, ast.Name) and v.id in tainted:
+                        view_returners.add(fn.name)
+                    elif isinstance(v, ast.Call):
+                        name = _called_name(v)
+                        if name:
+                            returns_call_to.setdefault(fn.name, set()).add(name)
+
+    changed = True
+    while changed:  # transitive closure: callers of callers issue too
+        changed = False
+        for fn, called in calls.items():
+            if fn not in callers and called & callers:
+                callers.add(fn)
+                changed = True
+    changed = True
+    while changed:  # functions forwarding a view-returner's result
+        changed = False
+        for fn, callees in returns_call_to.items():
+            if fn not in view_returners and callees & view_returners:
+                view_returners.add(fn)
+                changed = True
+    return ProgramIndex(
+        collective_callers=frozenset(callers),
+        view_returners=frozenset(view_returners),
+    )
+
+
+#: Receiver names whose ``.rank`` attribute is the *process identity*.
+#: In the replicated-state SPMD model most ``rank`` variables are turn
+#: indices every process iterates identically (``for rank in range(world)``,
+#: ``owner_rank`` metadata) — those are rank-uniform and harmless.  Only
+#: the transport endpoint knows which process it is.
+_RANK_IDENTITY_BASES: frozenset[str] = frozenset(
+    {"backend", "comm", "group", "pg"}
+)
+
+
+def _rank_dependent(test: ast.AST) -> bool:
+    """Does the predicate read the *process* identity?
+
+    True for ``is_local(...)`` calls and ``<backend/comm/...>.rank``
+    reads.  Turn indices, ``owner_rank`` metadata and ``all_local`` are
+    rank-uniform (every process evaluates them identically) and do not
+    count — the echo protocol keeps turn-conditional accounting aligned;
+    only process-identity branches can desynchronize the schedule.
+    """
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call) and _called_name(node) == "is_local":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "rank":
+            base = _attr_chain(node.value)
+            if base and base[-1] in _RANK_IDENTITY_BASES:
+                return True
+    return False
+
+
+def _function_bodies(tree: ast.AST):
+    """Every function body plus the module body, shallow-nested first."""
+    yield getattr(tree, "body", [])
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNC_NODES):
+            yield node.body
+
+
+def _rank_divergent_findings(
+    tree: ast.AST, rel: str, index: ProgramIndex, flag
+) -> None:
+    if not any(rel.startswith(p) for p in RANK_SPMD_MODULES):
+        return
+    issuers = COLLECTIVE_ISSUE_NAMES | index.collective_callers
+
+    def check(node: ast.AST) -> None:
+        for n in ast.walk(node):
+            if isinstance(n, _FUNC_NODES):
+                continue  # nested defs analyzed as their own bodies
+            if isinstance(n, ast.Call):
+                name = _called_name(n)
+                if name in issuers:
+                    flag(
+                        n,
+                        "rank-divergent-collective",
+                        f"{name!r} (a collective, per the program index) is"
+                        " reachable only under a rank-dependent predicate;"
+                        " a rank that skips it deadlocks its peers at the"
+                        " next rendezvous (collective-divergence at"
+                        " runtime)",
+                    )
+
+    def walk(stmts, conditioned: bool) -> None:
+        cond = conditioned
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                dep = _rank_dependent(stmt.test)
+                if cond:
+                    check(stmt.test)
+                walk(stmt.body, cond or dep)
+                walk(stmt.orelse, cond or dep)
+                if (
+                    dep
+                    and not stmt.orelse
+                    and stmt.body
+                    and isinstance(stmt.body[-1], _TERMINATORS)
+                ):
+                    # `if <rank-pred>: continue/return` — the rest of the
+                    # block runs only on the ranks that failed the test
+                    cond = True
+                continue
+            if isinstance(stmt, ast.While):
+                dep = _rank_dependent(stmt.test)
+                if cond:
+                    check(stmt.test)
+                walk(stmt.body, cond or dep)
+                walk(stmt.orelse, cond)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                if cond:
+                    check(stmt.iter)
+                walk(stmt.body, cond)
+                walk(stmt.orelse, cond)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                if cond:
+                    for item in stmt.items:
+                        check(item.context_expr)
+                walk(stmt.body, cond)
+                continue
+            if isinstance(stmt, ast.Try):
+                walk(stmt.body, cond)
+                for handler in stmt.handlers:
+                    walk(handler.body, cond)
+                walk(stmt.orelse, cond)
+                walk(stmt.finalbody, cond)
+                continue
+            if cond:
+                check(stmt)
+
+    for body in _function_bodies(tree):
+        walk(body, False)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _view_escape_findings(
+    tree: ast.AST, rel: str, index: ProgramIndex, flag
+) -> None:
+    if rel.startswith("repro/comm/") or rel.startswith("repro/check/"):
+        return  # the transport owns the shared-view protocol
+    sources = VIEW_SOURCES | index.view_returners
+
+    def scan_body(stmts) -> None:
+        tainted: set[str] = set()
+
+        def is_tainted_expr(expr: ast.AST) -> bool:
+            if _is_view_source_expr(expr, sources):
+                return True
+            if isinstance(expr, ast.Subscript):
+                return is_tainted_expr(expr.value)
+            return isinstance(expr, ast.Name) and expr.id in tainted
+
+        def check_write_sinks(node: ast.AST) -> None:
+            for n in ast.walk(node):
+                if isinstance(n, _FUNC_NODES):
+                    continue
+                if not isinstance(n, ast.Call):
+                    continue
+                name = _called_name(n)
+                chain = _attr_chain(n.func)
+                if (
+                    name == "copyto"
+                    and len(chain) >= 2
+                    and chain[0] in ("np", "numpy")
+                    and n.args
+                    and is_tainted_expr(n.args[0])
+                ):
+                    flag(
+                        n,
+                        "readonly-view-escape",
+                        "np.copyto into a read-only collective view writes"
+                        " the shared base every rank aliases; copy the view"
+                        " out instead",
+                    )
+                elif (
+                    name in _VIEW_MUTATORS
+                    and isinstance(n.func, ast.Attribute)
+                    and is_tainted_expr(n.func.value)
+                ):
+                    flag(
+                        n,
+                        "readonly-view-escape",
+                        f".{name}() mutates a read-only collective view in"
+                        " place; the base buffer is shared across ranks",
+                    )
+
+        def walk(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if isinstance(stmt, ast.Assign):
+                    if is_tainted_expr(stmt.value):
+                        for t in stmt.targets:
+                            if isinstance(t, ast.Name):
+                                tainted.add(t.id)
+                            elif isinstance(t, ast.Tuple):
+                                for el in t.elts:
+                                    if isinstance(el, ast.Name):
+                                        tainted.add(el.id)
+                    else:
+                        for t in stmt.targets:
+                            if isinstance(t, ast.Name):
+                                tainted.discard(t.id)
+                    for t in stmt.targets:
+                        if isinstance(t, ast.Subscript) and is_tainted_expr(
+                            t.value
+                        ):
+                            flag(
+                                stmt,
+                                "readonly-view-escape",
+                                "subscript store into a read-only collective"
+                                " view; the base buffer is shared across"
+                                " ranks — copy before mutating",
+                            )
+                        elif (
+                            isinstance(t, ast.Attribute)
+                            and t.attr == "writeable"
+                            and isinstance(t.value, ast.Attribute)
+                            and t.value.attr == "flags"
+                            and is_tainted_expr(t.value.value)
+                        ):
+                            flag(
+                                stmt,
+                                "readonly-view-escape",
+                                "flipping .flags.writeable on a collective"
+                                " view re-arms writes into shared storage",
+                            )
+                    check_write_sinks(stmt.value)
+                    continue
+                if isinstance(stmt, ast.AugAssign):
+                    t = stmt.target
+                    if (
+                        isinstance(t, ast.Name) and t.id in tainted
+                    ) or (
+                        isinstance(t, ast.Subscript)
+                        and is_tainted_expr(t.value)
+                    ):
+                        flag(
+                            stmt,
+                            "readonly-view-escape",
+                            "augmented assignment writes through a read-only"
+                            " collective view; copy before mutating",
+                        )
+                    check_write_sinks(stmt.value)
+                    continue
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    if is_tainted_expr(stmt.iter) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        tainted.add(stmt.target.id)
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                    continue
+                if isinstance(stmt, (ast.If, ast.While)):
+                    check_write_sinks(stmt.test)
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    walk(stmt.body)
+                    continue
+                if isinstance(stmt, ast.Try):
+                    walk(stmt.body)
+                    for handler in stmt.handlers:
+                        walk(handler.body)
+                    walk(stmt.orelse)
+                    walk(stmt.finalbody)
+                    continue
+                check_write_sinks(stmt)
+
+        walk(stmts)
+
+    for body in _function_bodies(tree):
+        scan_body(body)
+
+
+def _shm_lifecycle_findings(tree: ast.AST, rel: str, flag) -> None:
+    def walk(stmts, dead: set[tuple[str, ...]]) -> set[tuple[str, ...]]:
+        def chain_of(node: ast.AST) -> Optional[tuple[str, ...]]:
+            parts = _attr_chain(node)
+            return tuple(parts) if parts else None
+
+        def check_uses(node: ast.AST) -> None:
+            for n in ast.walk(node):
+                if isinstance(n, _FUNC_NODES):
+                    continue
+                if isinstance(n, ast.Call) and isinstance(
+                    n.func, ast.Attribute
+                ):
+                    if n.func.attr in SHM_USE_METHODS:
+                        base = chain_of(n.func.value)
+                        if base in dead:
+                            flag(
+                                n,
+                                "shm-use-after-unlink",
+                                f"{'.'.join(base)}.{n.func.attr}() after the"
+                                " segment was closed/unlinked: the shared"
+                                " buffer is gone (use-after-free on shm)",
+                            )
+                elif isinstance(n, ast.Attribute) and n.attr == "buf":
+                    base = chain_of(n.value)
+                    if base in dead:
+                        flag(
+                            n,
+                            "shm-use-after-unlink",
+                            f"{'.'.join(base)}.buf after the segment was"
+                            " closed/unlinked: the mapping is invalid",
+                        )
+
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, (ast.If, ast.While)):
+                check_uses(stmt.test)
+                dead_body = walk(stmt.body, set(dead))
+                dead_else = walk(stmt.orelse, set(dead))
+                dead |= dead_body & dead_else
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                check_uses(stmt.iter)
+                walk(stmt.body, set(dead))
+                walk(stmt.orelse, set(dead))
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    check_uses(item.context_expr)
+                dead |= walk(stmt.body, set(dead))
+                continue
+            if isinstance(stmt, ast.Try):
+                dead |= walk(stmt.body, set(dead))
+                for handler in stmt.handlers:
+                    walk(handler.body, set(dead))
+                walk(stmt.orelse, set(dead))
+                dead |= walk(stmt.finalbody, set(dead))
+                continue
+            check_uses(stmt)
+            for n in ast.walk(stmt):
+                if (
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in SHM_LIFECYCLE_METHODS
+                ):
+                    base = chain_of(n.func.value)
+                    if base is not None:
+                        dead.add(base)
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):  # rebinding revives the name
+                        dead = {c for c in dead if c[0] != t.id}
+        return dead
+
+    for body in _function_bodies(tree):
+        walk(body, set())
+
+
+def _interprocedural_findings(
+    tree: ast.AST, rel_path: str, index: ProgramIndex
+) -> list[LintFinding]:
+    rel = rel_path.replace(os.sep, "/")
+    findings: list[LintFinding] = []
+
+    def flag(node: ast.AST, rule: str, message: str) -> None:
+        findings.append(
+            LintFinding(rel, getattr(node, "lineno", 0), rule, message)
+        )
+
+    _rank_divergent_findings(tree, rel, index, flag)
+    _view_escape_findings(tree, rel, index, flag)
+    _shm_lifecycle_findings(tree, rel, flag)
+    return findings
+
+
+def lint_source(
+    source: str, rel_path: str, index: Optional[ProgramIndex] = None
+) -> list[LintFinding]:
+    """Lint one module's source text (unit of both the CLI and the tests).
+
+    With no ``index``, the interprocedural rules see a single-module
+    index built from this source alone; :func:`collect` passes the
+    repo-wide one.
+    """
     tree = ast.parse(source, filename=rel_path)
     visitor = _Visitor(rel_path)
     visitor.visit(tree)
+    if index is None:
+        index = build_program_index({rel_path: tree})
+    visitor.findings.extend(
+        _interprocedural_findings(tree, rel_path, index)
+    )
     lines = source.splitlines()
     kept = []
     for f in visitor.findings:
@@ -564,10 +1115,15 @@ def default_baseline_path() -> str:
 
 
 def collect(src_root: Optional[str] = None) -> list[LintFinding]:
-    """Lint every ``repro`` module under ``src_root``."""
+    """Lint every ``repro`` module under ``src_root``.
+
+    Two passes: the first parses everything and builds the repo-wide
+    :class:`ProgramIndex`; the second lints each module against it, so
+    the interprocedural rules see callees defined in other files.
+    """
     root = src_root or default_src_root()
-    findings: list[LintFinding] = []
     pkg_root = os.path.join(root, "repro")
+    modules: list[tuple[str, str]] = []  # (rel, source)
     for dirpath, dirnames, filenames in os.walk(pkg_root):
         dirnames.sort()
         for name in sorted(filenames):
@@ -576,7 +1132,13 @@ def collect(src_root: Optional[str] = None) -> list[LintFinding]:
             path = os.path.join(dirpath, name)
             rel = os.path.relpath(path, root)
             with open(path, encoding="utf-8") as fh:
-                findings.extend(lint_source(fh.read(), rel))
+                modules.append((rel, fh.read()))
+    index = build_program_index(
+        {rel: ast.parse(source, filename=rel) for rel, source in modules}
+    )
+    findings: list[LintFinding] = []
+    for rel, source in modules:
+        findings.extend(lint_source(source, rel, index))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -1,0 +1,158 @@
+"""The `repro check-static` driver: extract, verify, and report.
+
+Runs the full train-demo matrix — stage {2,3} x world {1,2,4} x
+{loop,mp} — through the symbolic extractor, model-checks every IR, and
+cross-checks loop-vs-mp collective accounting for each configuration
+(the echo protocol must make a rank process fingerprint exactly the
+stream the in-process oracle issues).  Optionally folds in the
+repo-wide lint pass so one command answers "is the schedule provably
+safe *and* is the source clean".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.check.static.extract import ScheduleSpec, extract_schedule
+from repro.check.static.ir import ScheduleIR, StaticFinding
+from repro.check.static.verify import verify_schedule
+
+#: The acceptance matrix: every train-demo configuration.
+DEFAULT_MATRIX: tuple[ScheduleSpec, ...] = tuple(
+    ScheduleSpec(world=world, stage=stage, backend=backend)
+    for stage in (2, 3)
+    for world in (1, 2, 4)
+    for backend in ("loop", "mp")
+)
+
+
+@dataclass
+class ConfigVerdict:
+    """One matrix cell: the IR's vital signs plus its findings."""
+
+    spec: ScheduleSpec
+    collectives: int
+    rendezvous: int
+    findings: list[StaticFinding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+@dataclass
+class StaticReport:
+    """Everything ``repro check-static`` / ``tools/static_gate.py`` print."""
+
+    verdicts: list[ConfigVerdict] = field(default_factory=list)
+    lint_findings: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def findings(self) -> list[StaticFinding]:
+        return [f for v in self.verdicts for f in v.findings]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.lint_findings
+
+    def render(self) -> str:
+        from repro.utils.tables import Table
+
+        t = Table(
+            ["schedule", "collectives", "rendezvous", "verdict"],
+            title="Static SPMD schedule verification",
+        )
+        for v in self.verdicts:
+            t.add_row(
+                [
+                    v.spec.label(),
+                    str(v.collectives),
+                    str(v.rendezvous),
+                    "proved" if v.ok else f"{len(v.findings)} finding(s)",
+                ]
+            )
+        lines = [t.render()]
+        for f in self.findings:
+            lines.append(f"  {f.format()}")
+        if self.lint_findings:
+            lines.append(f"lint: {len(self.lint_findings)} new finding(s)")
+            for f in self.lint_findings:
+                lines.append(f"  {f.path}:{f.line}: {f.rule}: {f.message}")
+        else:
+            lines.append("lint: clean")
+        lines.append(f"wall: {self.wall_s:.1f}s")
+        return "\n".join(lines)
+
+
+def _parity_findings(
+    loop_ir: ScheduleIR, mp_ir: ScheduleIR, label: str
+) -> list[StaticFinding]:
+    """Loop-vs-mp accounting parity for one (stage, world) cell.
+
+    The mp backend's correctness story rests on every rank process
+    fingerprinting the same facade stream the loop oracle issues (the
+    accounting echo).  Comparing per-op call counts between the two IRs
+    checks that invariant without running a single rank process.
+    """
+    loop_counts = loop_ir.op_counts()
+    mp_counts = mp_ir.op_counts()
+    if loop_counts == mp_counts:
+        return []
+    return [
+        StaticFinding(
+            "static-collective-divergence",
+            f"{label}: mp rank schedule disagrees with the loop oracle on"
+            f" collective call counts: loop={loop_counts} mp={mp_counts}"
+            " — the accounting echo would desynchronize the digests",
+            details={"loop": loop_counts, "mp": mp_counts},
+        )
+    ]
+
+
+def run_static_check(
+    matrix: Optional[list[ScheduleSpec]] = None, *, lint: bool = True
+) -> StaticReport:
+    """Extract + verify every matrix cell; optionally lint the repo."""
+    t0 = time.perf_counter()
+    report = StaticReport()
+    specs = list(DEFAULT_MATRIX if matrix is None else matrix)
+    loop_irs: dict[tuple[int, int], ScheduleIR] = {}
+    mp_irs: dict[tuple[int, int], ScheduleIR] = {}
+    for spec in specs:
+        ir = extract_schedule(spec)
+        findings = verify_schedule(ir)
+        sched = ir.ranks[0]
+        report.verdicts.append(
+            ConfigVerdict(
+                spec=spec,
+                collectives=len(sched.collectives()),
+                rendezvous=len(sched.rendezvous()),
+                findings=findings,
+            )
+        )
+        cell = (spec.stage, spec.world)
+        (loop_irs if spec.backend == "loop" else mp_irs)[cell] = ir
+
+    for cell in sorted(set(loop_irs) & set(mp_irs)):
+        stage, world = cell
+        parity = _parity_findings(
+            loop_irs[cell], mp_irs[cell], f"stage{stage}-w{world}"
+        )
+        for v in report.verdicts:
+            if (
+                v.spec.stage == stage
+                and v.spec.world == world
+                and v.spec.backend == "mp"
+            ):
+                v.findings.extend(parity)
+                break
+
+    if lint:
+        from repro.check.lint import run_lint
+
+        report.lint_findings = list(run_lint().new_findings)
+    report.wall_s = time.perf_counter() - t0
+    return report

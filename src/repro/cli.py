@@ -501,6 +501,26 @@ def _cmd_doctor(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_check_static(args) -> int:
+    """Prove the SPMD schedule before any rank process launches."""
+    from repro.check.static import run_static_check
+    from repro.check.static.driver import DEFAULT_MATRIX
+
+    matrix = [
+        spec
+        for spec in DEFAULT_MATRIX
+        if (args.stage is None or spec.stage == args.stage)
+        and (args.world is None or spec.world == args.world)
+        and (args.backend is None or spec.backend == args.backend)
+    ]
+    if not matrix:
+        print("no matrix cell matches the requested filters")
+        return 2
+    report = run_static_check(matrix, lint=not args.no_lint)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="ZeRO-Infinity reproduction toolkit"
@@ -555,6 +575,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("doctor", help="self-verify every subsystem")
     s.set_defaults(fn=_cmd_doctor)
+
+    s = sub.add_parser(
+        "check-static",
+        help="statically verify the SPMD schedule (collectives, deadlock,"
+        " locks) plus the repo lint",
+    )
+    s.add_argument(
+        "--stage", type=int, choices=(2, 3), default=None,
+        help="restrict the matrix to one ZeRO stage",
+    )
+    s.add_argument(
+        "--world", type=int, default=None,
+        help="restrict the matrix to one world size",
+    )
+    s.add_argument(
+        "--backend", choices=("loop", "mp"), default=None,
+        help="restrict the matrix to one comm backend",
+    )
+    s.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the repo-wide lint pass (schedule verification only)",
+    )
+    s.set_defaults(fn=_cmd_check_static)
 
     s = sub.add_parser("plan", help="recommend placements for a model size")
     s.add_argument("--params", type=str, required=True, help="e.g. 100B or 1T")

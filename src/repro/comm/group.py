@@ -39,6 +39,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.check.runtime import CheckContext, get_checker
+from repro.check.static.record import get_static_recorder
 from repro.comm.backend import CommBackend, LoopBackend
 from repro.obs.metrics import get_registry
 
@@ -146,10 +147,15 @@ class ProcessGroup:
         as a real collective would already be committed once issued)."""
         ck = self._check
         checked = ck is not None and ck.collectives is not None
-        if not checked and self.backend.all_local:
+        # schedule extraction (loop mode) taps the facade here; non-local
+        # backends record through their own note_fingerprint instead
+        rec = get_static_recorder() if self.backend.all_local else None
+        if not checked and rec is None and self.backend.all_local:
             return
         dtypes = [str(np.asarray(p).dtype) for p in payloads]
         numels = [int(np.asarray(p).size) for p in payloads]
+        if rec is not None:
+            rec.on_collective(op, dtypes, numels)
         if checked:
             ck.collectives.record(self._check_gid, op, dtypes, numels)
         if not self.backend.all_local:
@@ -302,6 +308,10 @@ class ProcessGroup:
         ck = self._check
         if ck is not None and ck.collectives is not None:
             ck.collectives.cross_check(self._check_gid)
-        if not self.backend.all_local:
+        if self.backend.all_local:
+            rec = get_static_recorder()
+            if rec is not None:
+                rec.on_barrier()
+        else:
             self.backend.step_sync()
         self.stats.record("barrier", 0)

@@ -32,6 +32,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.check.static.record import get_static_recorder
 from repro.comm import readonly_slice
 from repro.comm.group import ProcessGroup
 from repro.nn.parameter import Parameter
@@ -181,15 +182,24 @@ class GradientBucketStore:
         if not bucket.entries:
             return
         n = bucket.fill
-        with trace_span(
-            "bucket:flush", cat="comm", numel=n, entries=len(bucket.entries)
-        ):
-            self.comm.reduce_scatter_into(
-                [buf[:n] for buf in bucket.inputs],
-                bucket.output[:n],
-                op=self.reduce_op,
-            )
-            self._emit_shards(bucket.output[:n], bucket.entries)
+        rec = get_static_recorder()
+        if rec is not None:
+            # schedule extraction: the flush body is the bucket critical
+            # section; the static verifier proves no rendezvous inside it
+            rec.on_lock_acquire("bucket")
+        try:
+            with trace_span(
+                "bucket:flush", cat="comm", numel=n, entries=len(bucket.entries)
+            ):
+                self.comm.reduce_scatter_into(
+                    [buf[:n] for buf in bucket.inputs],
+                    bucket.output[:n],
+                    op=self.reduce_op,
+                )
+                self._emit_shards(bucket.output[:n], bucket.entries)
+        finally:
+            if rec is not None:
+                rec.on_lock_release("bucket")
         self.stats.flushes += 1
         self.stats.flushed_numel += n
         registry = get_registry()

@@ -442,8 +442,12 @@ class ZeroInfinityEngine:
                         loss = self.model(*batch)
                     losses.append(float(loss))
                     with trace_span("engine:backward", cat="engine", rank=rank):
-                        self.model.backward(scale)
-                        self.coordinator.end_rank_backward()
+                        # Protocol-correct rank divergence: non-local turns are
+                        # skipped above, but their collective accounting is
+                        # replayed to peers via echo_turns below, so every
+                        # process's fingerprint stream stays aligned.
+                        self.model.backward(scale)  # lint: allow-rank-divergent-collective
+                        self.coordinator.end_rank_backward()  # lint: allow-rank-divergent-collective
                     if self.prefetcher is not None:
                         self.prefetcher.end_iteration()
                     if distributed:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.check.runtime import CheckContext, get_checker
+from repro.check.static.record import get_static_recorder
 from repro.faults.runtime import get_faults
 from repro.obs.memscope import mem_alloc, mem_free
 from repro.obs.metrics import get_registry
@@ -126,6 +127,18 @@ class PinnedBufferPool:
         a caller is trying to stage more than the pinned layer allows and
         should instead stream in chunks (see ChunkedSwapper).
         """
+        rec = get_static_recorder()
+        if rec is None:
+            return self._acquire(numel, dtype)
+        # schedule extraction: the pool lock is a named critical section;
+        # the static verifier proves no rendezvous happens inside it
+        rec.on_lock_acquire("pinned-pool")
+        try:
+            return self._acquire(numel, dtype)
+        finally:
+            rec.on_lock_release("pinned-pool")
+
+    def _acquire(self, numel: int, dtype=np.float32) -> PinnedBuffer:
         want = self._round(int(numel) * np.dtype(dtype).itemsize)
         fp = get_faults()
         with self._lock:

@@ -1,0 +1,26 @@
+"""Bug: writing through a read-only shard view of shared reduce output.
+
+``readonly_slice`` hands out zero-copy views of the reusable bucket
+output buffer; the contract (docs on GradientBucketStore) is copy-to-
+retain, never write.  This snippet stores through the view's subscript —
+under numpy's writeable flag this raises at runtime, but only on the
+path that executes; the ``readonly-view-escape`` dataflow rule flags the
+store wherever it hides, by tainting names bound to view-source calls
+and reporting any mutation sink they reach.
+
+Static corpus: this file is never imported by the runtime checker
+harness; the static harness lints its source as if it lived at
+``LINT_AS``.
+"""
+
+LINT_AS = "repro/core/viewwrite.py"
+EXPECT = "readonly-view-escape"
+
+
+def apply_shard_update(reduced, offset, shard_numel):
+    from repro.comm import readonly_slice
+
+    shard = readonly_slice(reduced, offset, shard_numel)
+    # <- the bug: stores into the shared read-only reduce output
+    shard[:shard_numel] = 0.0
+    return shard

@@ -1,0 +1,26 @@
+"""Bug: publishing into a shared-memory ring after unlinking it.
+
+A hypothetical ``repro/comm/ring_consumer.py`` tears the ring down on an
+error path, then falls through to the publish that assumes the segment
+is still mapped.  Depending on the platform this is a crash
+(``BufferError`` on a closed mmap) or worse — a write into a segment a
+restarted peer has re-created, silently corrupting its handshake.  The
+``shm-use-after-unlink`` lifecycle rule tracks close/unlink/destroy
+along each control-flow path and flags any ring use reachable after the
+segment died on *every* path into it.
+
+Static corpus: this file is never imported by the runtime checker
+harness; the static harness lints its source as if it lived at
+``LINT_AS``.
+"""
+
+LINT_AS = "repro/comm/ring_consumer.py"
+EXPECT = "shm-use-after-unlink"
+
+
+def drain_and_close(ring, payload):
+    ring.publish(payload)
+    ring.close()
+    ring.unlink()
+    # <- the bug: the segment is gone; this write targets freed shm
+    ring.publish(payload)

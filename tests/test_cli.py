@@ -101,6 +101,21 @@ class TestDoctor:
         assert "[FAIL]" not in out
 
 
+class TestCheckStatic:
+    def test_one_cell_proves(self, capsys):
+        assert main(
+            ["check-static", "--stage", "3", "--world", "2", "--no-lint"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Static SPMD schedule verification" in out
+        assert "proved" in out
+        assert "stage3-w2-mp" in out
+
+    def test_empty_filter_is_usage_error(self, capsys):
+        assert main(["check-static", "--world", "9", "--no-lint"]) == 2
+        assert "no matrix cell" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -31,6 +31,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.obs",
     "repro.check",
+    "repro.check.static",
     "repro.faults",
     "repro.utils",
 ]
