@@ -1,0 +1,52 @@
+"""Live telemetry overhead contract: disabled < 2%, enabled < 10% of a step.
+
+:mod:`repro.obs.live` leaves its hooks compiled into the engine step —
+heartbeats per rank turn, phase emits, flight-recorder appends.  That is
+only tenable if the disabled fast path (a ``get_live()`` /
+``get_flightrec()`` global miss) is effectively free, so this bench
+measures both paths on a real engine step and asserts the contract
+(measurement model in :mod:`repro.obs.overhead`).
+``tests/test_live_overhead.py`` enforces the same bound in tier 1; the
+machine-readable result lands in ``BENCH_livetel.json`` at the repo
+root, which ``tools/perf_gate.py`` compares future runs against.
+"""
+
+import json
+import os
+
+from repro.obs.overhead import measure_live_overhead
+
+DISABLED_BUDGET = 0.02  # always-compiled hooks must be invisible
+ENABLED_BUDGET = 0.10  # live streaming may tax the step this much
+
+
+def test_live_overhead_contract(emit, benchmark):
+    report = benchmark.pedantic(measure_live_overhead, rounds=1, iterations=1)
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_livetel.json",
+    )
+    with open(path, "w") as f:
+        json.dump(
+            {
+                "step_disabled_s": report.step_disabled_s,
+                "step_enabled_s": report.step_enabled_s,
+                "steps_per_s": report.steps_per_s,
+                "ops_per_step": report.ops_per_step,
+                "samples_per_step": report.samples_per_step,
+                "noop_call_s": report.noop_call_s,
+                "emit_call_s": report.emit_call_s,
+                "disabled_overhead": report.disabled_overhead,
+                "enabled_overhead": report.enabled_overhead,
+                "disabled_budget": DISABLED_BUDGET,
+                "enabled_budget": ENABLED_BUDGET,
+            },
+            f,
+            indent=2,
+        )
+        f.write("\n")
+    emit("BENCH_livetel", report.render())
+    assert report.ops_per_step > 5  # the step really is instrumented
+    assert report.samples_per_step > 0
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()

@@ -103,6 +103,14 @@ single-function pattern matching:
     themselves stay allowed (``destroy`` is close-then-unlink and
     idempotent).
 
+``telemetry-ring-write``
+    ``TelemetryRing.put_sample`` is a single-writer seqlock: exactly one
+    writer per rank slot, and the sample schema/encoding is owned by
+    ``repro.obs.live``.  A direct ``put_sample`` call anywhere else can
+    race the rank's own writer mid-seqlock or publish a payload the
+    aggregator cannot decode — publish through the live plane
+    (``LivePlane.emit``) instead.
+
 A finding can be suppressed with a same-line ``# lint: allow-<rule>``
 comment; pre-existing debt is pinned in ``tools/lint_baseline.json`` so
 only *new* violations fail CI.
@@ -129,6 +137,7 @@ RULES: tuple[str, ...] = (
     "rank-divergent-collective",
     "readonly-view-escape",
     "shm-use-after-unlink",
+    "telemetry-ring-write",
 )
 
 #: Packages whose numerics must be deterministic and clock-free.
@@ -165,6 +174,14 @@ COLLECTIVE_BACKEND_MODULES: frozenset[str] = frozenset(
     {
         "repro/comm/collectives.py",
         "repro/comm/backend.py",
+    }
+)
+
+#: The only module allowed to write the shm telemetry ring: it owns the
+#: sample schema and the single-writer-per-slot seqlock discipline.
+TELEMETRY_PLANE_MODULES: frozenset[str] = frozenset(
+    {
+        "repro/obs/live.py",
     }
 )
 
@@ -391,6 +408,19 @@ class _Visitor(ast.NodeVisitor):
     # --- calls (wallclock, rng, float64 astype, untraced sleeps) ----------------
     def visit_Call(self, node: ast.Call) -> None:
         chain = _attr_chain(node.func)
+        if (
+            chain
+            and chain[-1] == "put_sample"
+            and self.rel not in TELEMETRY_PLANE_MODULES
+        ):
+            self._flag(
+                node,
+                "telemetry-ring-write",
+                "direct telemetry-ring write outside repro.obs.live: the"
+                " ring is a single-writer-per-slot seqlock whose sample"
+                " schema the live plane owns; publish through"
+                " LivePlane.emit instead",
+            )
         if (
             self.perfscoped
             and self._stall_depth == 0

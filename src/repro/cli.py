@@ -235,7 +235,22 @@ def _train_demo_mp(args) -> int:
                     return _train_demo_body(args, comm_backend=backend)
         return _train_demo_body(args, comm_backend=backend)
 
-    out = run_multiproc(args.world, worker, trace=want_trace)
+    want_live = getattr(args, "live", False)
+    postmortem = getattr(args, "postmortem", None)
+    live_cfg = None
+    on_view = None
+    if want_live or postmortem:
+        from repro.obs.live import LiveConfig, render_dashboard
+
+        live_cfg = LiveConfig(postmortem_dir=postmortem, dashboard=want_live)
+        if want_live:
+
+            def on_view(view) -> None:
+                print(render_dashboard(view))
+
+    out = run_multiproc(
+        args.world, worker, trace=want_trace, live=live_cfg, on_view=on_view
+    )
     if args.trace and out.shards is not None:
         from repro.obs import write_merged_chrome_trace
 
@@ -285,6 +300,26 @@ def _train_demo_body(args, comm_backend=None) -> int:
         faults_ctx = use_faults(args.faults, seed=args.faults_seed)
     else:
         faults_ctx = contextlib.nullcontext()
+    live_ctx = contextlib.nullcontext()
+    flight_ctx = contextlib.nullcontext()
+    want_live = getattr(args, "live", False)
+    postmortem = getattr(args, "postmortem", None)
+    if (want_live or postmortem) and not distributed:
+        # mp workers get their plane from the launcher; the loop backend
+        # hosts the aggregator (and dashboard) right here
+        from repro.obs.flightrec import FlightRecorder, use_flightrec
+        from repro.obs.live import LiveConfig, LivePlane, use_live
+
+        live_cfg = LiveConfig(
+            dashboard=want_live,
+            refresh_steps=max(args.steps // 5, 1),
+            postmortem_dir=postmortem,
+        )
+        recorder = FlightRecorder(capacity=live_cfg.flight_capacity)
+        flight_ctx = use_flightrec(recorder)
+        live_ctx = use_live(
+            LivePlane(world=args.world, config=live_cfg, recorder=recorder)
+        )
 
     model_cfg = TransformerConfig(
         num_layers=2,
@@ -309,7 +344,7 @@ def _train_demo_body(args, comm_backend=None) -> int:
         loss_scale=1.0,
         **({"check": check_cfg} if check_cfg is not None else {}),
     )
-    with trace_ctx as tracer, scope_ctx as scope, faults_ctx as plane, ZeroInfinityEngine(
+    with trace_ctx as tracer, scope_ctx as scope, faults_ctx as plane, flight_ctx, live_ctx, ZeroInfinityEngine(
         zero_cfg,
         model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0)),
         lr=5e-3,
@@ -643,6 +678,19 @@ def build_parser() -> argparse.ArgumentParser:
         s.add_argument(
             "--faults-seed", type=int, default=0,
             help="seed for probabilistic fault rules (default 0)",
+        )
+        s.add_argument(
+            "--live", action="store_true",
+            help="stream per-rank telemetry through repro.obs.live and"
+            " render a top-style health dashboard while training (works"
+            " for both backends; under mp the parent aggregates the shm"
+            " telemetry ring)",
+        )
+        s.add_argument(
+            "--postmortem", type=str, default=None, metavar="DIR",
+            help="arm the crash flight recorder: on a terminal failure,"
+            " dump a postmortem bundle (per-rank event tails, last-known"
+            " state, Chrome-trace tail) into DIR",
         )
         s.set_defaults(fn=_cmd_train_demo)
 

@@ -13,6 +13,17 @@ nothing needs pickling on the way in (results ride back over a pipe and
 must be picklable).  The parent should be thread-quiet at launch time —
 close any engine (and its aio worker threads) before calling.
 
+With ``live=`` set, the session also creates a
+:class:`~repro.comm.shm.TelemetryRing` beside the data ring: every
+worker installs a per-rank :class:`~repro.obs.live.LivePlane` (heartbeats
+and samples go through the ring) plus a crash flight recorder, and the
+parent's monitor loop doubles as the aggregator — polling the ring into
+a :class:`~repro.obs.live.ClusterView`, running the health watchdog, and
+invoking the optional ``on_view`` callback (the ``--live`` dashboard).
+A worker that dies on an unhandled exception dumps its flight-recorder
+shard into ``live.postmortem_dir`` before reporting, and the parent
+completes the bundle with a manifest when the run is torn down.
+
 Cleanup guarantees (the chaos-run contract):
 
 * the segment is unlinked by a ``with``/``finally`` in
@@ -30,12 +41,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.comm.mp_backend import MultiprocBackend
-from repro.comm.shm import SharedRing
+from repro.comm.shm import SharedRing, TelemetryRing
 
 
 class MpWorkerFailed(RuntimeError):
@@ -56,18 +68,24 @@ class MpSession:
         *,
         slot_capacity: int = 1 << 20,
         timeout: float = 120.0,
+        telemetry_capacity: int = 0,
     ) -> None:
         self.world_size = world_size
         self.timeout = timeout
         self.ctx = multiprocessing.get_context("fork")
         self.ring = SharedRing(world_size, slot_capacity=slot_capacity)
+        self.telemetry: Optional[TelemetryRing] = (
+            TelemetryRing(world_size, slot_capacity=telemetry_capacity)
+            if telemetry_capacity
+            else None
+        )
         self.barrier = self.ctx.Barrier(world_size)
         self._owner_pid = os.getpid()
         self._closed = False
         atexit.register(self.cleanup)
 
     def cleanup(self) -> None:
-        """Unlink the segment (idempotent; owner process only).
+        """Unlink the segments (idempotent; owner process only).
 
         Forked children inherit the parent's atexit hook; the pid guard
         keeps a child's exit from unlinking the segment under its
@@ -78,6 +96,8 @@ class MpSession:
         self._closed = True
         atexit.unregister(self.cleanup)
         self.ring.destroy()
+        if self.telemetry is not None:
+            self.telemetry.destroy()
 
     def __enter__(self) -> "MpSession":
         return self
@@ -88,12 +108,18 @@ class MpSession:
 
 @dataclass
 class TraceShard:
-    """One rank's tracer output, mergeable into a single Chrome trace."""
+    """One rank's tracer output, mergeable into a single Chrome trace.
+
+    ``epoch_ns`` is the rank tracer's monotonic-clock origin, exchanged
+    at the result-collection rendezvous so the merged exporter can align
+    per-process timelines.
+    """
 
     rank: int
     records: list
     lanes: dict[int, str]
     dropped: int
+    epoch_ns: int = 0
 
 
 @dataclass
@@ -104,25 +130,57 @@ class MpRunResult:
     shards: Optional[list[TraceShard]] = None
 
 
-def _worker(session: MpSession, rank: int, fn, conn, trace: bool) -> None:
+def _worker(
+    session: MpSession, rank: int, fn, conn, trace: bool, live_cfg
+) -> None:
     backend = MultiprocBackend(session, rank)
+    plane = None
+    tracer = None
+    if live_cfg is not None and session.telemetry is not None:
+        from repro.obs.flightrec import FlightRecorder, install_flightrec
+        from repro.obs.live import LivePlane, ShmTransport, install_live
+
+        recorder = FlightRecorder(capacity=live_cfg.flight_capacity)
+        plane = LivePlane(
+            world=session.world_size,
+            rank=rank,
+            config=live_cfg,
+            transport=ShmTransport(session.telemetry),
+            recorder=recorder,
+        )
+        install_live(plane)
+        install_flightrec(recorder)
     try:
         if trace:
             from repro.obs import use_tracer
 
             with use_tracer() as tracer:
+                if plane is not None:
+                    plane.tracer = tracer
                 value = fn(backend)
             shard = TraceShard(
-                rank, tracer.records(), tracer.lane_names(), tracer.dropped
+                rank,
+                tracer.records(),
+                tracer.lane_names(),
+                tracer.dropped,
+                tracer.epoch_ns,
             )
         else:
             value = fn(backend)
             shard = None
+        if plane is not None:
+            plane.close()
         conn.send(("ok", value, shard))
     except BaseException as err:  # noqa: BLE001 - forwarded to the parent
         # break peers out of any rendezvous before reporting: a sibling
         # stuck in a barrier would otherwise wait out the full timeout
         backend.signal_abort(terminal=True)
+        if plane is not None:
+            try:
+                plane.on_terminal(f"{type(err).__name__}: {err}")
+                plane.close()
+            except Exception:
+                pass  # the postmortem must never mask the real failure
         try:
             conn.send(
                 ("err", f"{type(err).__name__}: {err}", traceback.format_exc())
@@ -140,6 +198,9 @@ def run_multiproc(
     trace: bool = False,
     timeout: float = 120.0,
     slot_capacity: int = 1 << 20,
+    live=None,
+    on_view: Optional[Callable[[Any], None]] = None,
+    view_interval: float = 0.5,
 ) -> MpRunResult:
     """Run ``fn(backend)`` in one forked process per rank; gather results.
 
@@ -147,28 +208,59 @@ def run_multiproc(
     must be picklable) is collected per rank.  Any rank error or death
     tears the launch down (terminate + unlink) and raises
     :class:`MpWorkerFailed`.
+
+    ``live`` enables the telemetry plane: pass ``True`` for defaults or a
+    :class:`~repro.obs.live.LiveConfig`.  ``on_view`` is then called with
+    a fresh :class:`~repro.obs.live.ClusterView` roughly every
+    ``view_interval`` seconds from the parent's monitor loop.
     """
+    live_cfg = None
+    if live:
+        from repro.obs.live import LiveConfig
+
+        live_cfg = live if isinstance(live, LiveConfig) else LiveConfig()
     with MpSession(
-        world_size, slot_capacity=slot_capacity, timeout=timeout
+        world_size,
+        slot_capacity=slot_capacity,
+        timeout=timeout,
+        telemetry_capacity=live_cfg.slot_capacity if live_cfg else 0,
     ) as session:
+        aggregator = None
+        if live_cfg is not None:
+            from repro.obs.live import LivePlane, ShmTransport
+
+            aggregator = LivePlane(
+                world=world_size,
+                config=live_cfg,
+                transport=ShmTransport(session.telemetry),
+            )
         procs = []
         conns = []
         for rank in range(world_size):
             parent_conn, child_conn = session.ctx.Pipe(duplex=False)
             proc = session.ctx.Process(
                 target=_worker,
-                args=(session, rank, fn, child_conn, trace),
+                args=(session, rank, fn, child_conn, trace, live_cfg),
                 daemon=True,
                 name=f"repro-mp-rank{rank}",
             )
             procs.append(proc)
             conns.append(parent_conn)
+        last_view = 0.0
+        final_view = None
         try:
             for proc in procs:
                 proc.start()
             replies: list[Any] = [None] * world_size
             pending = set(range(world_size))
             while pending:
+                if aggregator is not None:
+                    now = time.monotonic()
+                    if now - last_view >= view_interval:
+                        last_view = now
+                        final_view = aggregator.view(now)
+                        if on_view is not None:
+                            on_view(final_view)
                 for rank in sorted(pending):
                     if conns[rank].poll(0.05):
                         replies[rank] = conns[rank].recv()
@@ -181,13 +273,26 @@ def run_multiproc(
                             replies[rank] = conns[rank].recv()
                             pending.discard(rank)
                             continue
+                        _finish_postmortem(
+                            live_cfg,
+                            world_size,
+                            f"rank {rank} died without reporting",
+                        )
                         raise MpWorkerFailed(
                             rank,
                             f"process died without reporting"
                             f" (exitcode {procs[rank].exitcode})",
                         )
+            if aggregator is not None:
+                # one guaranteed final poll: short runs can finish inside
+                # the first view_interval, and the last published samples
+                # (step_end state of every rank) are still in the ring
+                final_view = aggregator.view(time.monotonic())
+                if on_view is not None:
+                    on_view(final_view)
             for rank, reply in enumerate(replies):
                 if reply[0] == "err":
+                    _finish_postmortem(live_cfg, world_size, reply[1])
                     raise MpWorkerFailed(
                         rank, f"{reply[1]}\n--- worker traceback ---\n{reply[2]}"
                     )
@@ -203,3 +308,17 @@ def run_multiproc(
     results = [reply[1] for reply in replies]
     shards = [reply[2] for reply in replies] if trace else None
     return MpRunResult(results=results, shards=shards)
+
+
+def _finish_postmortem(live_cfg, world_size: int, reason: str) -> None:
+    """Parent-side bundle completion: write the manifest over worker shards."""
+    if live_cfg is None or not live_cfg.postmortem_dir:
+        return
+    from repro.obs.flightrec import write_postmortem_manifest
+
+    try:
+        write_postmortem_manifest(
+            live_cfg.postmortem_dir, reason, world=world_size
+        )
+    except OSError:
+        pass  # never mask the original failure with bundle I/O errors

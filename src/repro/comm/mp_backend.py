@@ -192,6 +192,19 @@ class MultiprocBackend(LoopBackend):
     # --- abort / recovery ----------------------------------------------------------
     def signal_abort(self, terminal: bool = False) -> None:
         """Flag the abort in shared memory and break peers out of waits."""
+        from repro.obs.flightrec import get_flightrec  # lazy: import cycle
+
+        fr = get_flightrec()
+        if fr is not None:
+            fr.record(
+                "abort",
+                "signal_abort",
+                rank=self._rank,
+                volatile=True,
+                terminal=terminal,
+                seq=self._seq,
+                digest=self._digest,
+            )
         self.session.ring.set_abort(
             self._rank, ABORT_TERMINAL if terminal else ABORT_REPLAY
         )
@@ -240,6 +253,13 @@ class MultiprocBackend(LoopBackend):
         self._epoch = target
         self._seq = 0
         self._digest = 0
+        from repro.obs.flightrec import get_flightrec  # lazy: import cycle
+
+        fr = get_flightrec()
+        if fr is not None:
+            fr.record(
+                "retry", "recovered", rank=self._rank, volatile=True, epoch=target
+            )
 
     def transport_stats(self) -> dict[str, float]:
         """Backend-private transport counters (for benches and reports)."""

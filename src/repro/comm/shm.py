@@ -180,3 +180,104 @@ class SharedRing:
             self.shm.unlink()
         except FileNotFoundError:
             pass
+
+
+_TEL_HEADER_WORDS = 2  # seq, nbytes
+
+
+class TelemetryRing:
+    """Lock-free single-writer-per-slot telemetry segment beside the data ring.
+
+    One seqlock slot per rank: ``[seq, nbytes]`` int64 header followed by
+    ``slot_capacity`` payload bytes.  The owning rank is the only writer of
+    its slot; any process may read any slot at any time.
+
+    Writer protocol (:meth:`put_sample`): bump ``seq`` to odd (write in
+    progress), copy the payload, bump ``seq`` to even.  Reader protocol
+    (:meth:`read_sample`): load ``seq``; if odd, the slot is mid-write —
+    retry; copy the payload; re-load ``seq`` and retry if it changed.
+    Readers never block writers and writers never wait, so a wedged
+    aggregator cannot stall a rank and a wedged rank cannot stall the
+    watchdog — which is the whole point of the health plane.
+
+    Only ``repro.obs.live`` may call :meth:`put_sample`; the
+    ``telemetry-ring-write`` lint rule enforces this.
+    """
+
+    def __init__(self, world_size: int, *, slot_capacity: int = 4096) -> None:
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if slot_capacity <= 0:
+            raise ValueError("slot_capacity must be positive")
+        self.world_size = world_size
+        self.slot_capacity = int(slot_capacity)
+        self._slot_stride = _TEL_HEADER_WORDS * _WORD + self.slot_capacity
+        total = world_size * self._slot_stride
+        self.name = SEGMENT_PREFIX + "tel_" + secrets.token_hex(8)
+        self.shm = shared_memory.SharedMemory(
+            name=self.name, create=True, size=total
+        )
+        self.shm.buf[:total] = b"\x00" * total
+        self._destroyed = False
+
+    def _header(self, rank: int) -> np.ndarray:
+        return np.frombuffer(
+            self.shm.buf,
+            np.int64,
+            count=_TEL_HEADER_WORDS,
+            offset=rank * self._slot_stride,
+        )
+
+    def _payload(self, rank: int, nbytes: int) -> np.ndarray:
+        return np.frombuffer(
+            self.shm.buf,
+            np.uint8,
+            count=nbytes,
+            offset=rank * self._slot_stride + _TEL_HEADER_WORDS * _WORD,
+        )
+
+    def put_sample(self, rank: int, payload: bytes) -> None:
+        """Publish ``payload`` into this rank's slot (single-writer seqlock)."""
+        nbytes = len(payload)
+        if nbytes > self.slot_capacity:
+            raise ValueError(
+                f"sample of {nbytes} bytes exceeds telemetry slot capacity"
+                f" {self.slot_capacity}"
+            )
+        header = self._header(rank)
+        header[0] = int(header[0]) | 1  # odd: write in progress
+        self._payload(rank, nbytes)[:] = np.frombuffer(payload, np.uint8)
+        header[1] = nbytes
+        header[0] = (int(header[0]) | 1) + 1  # even: published
+
+    def read_sample(self, rank: int) -> bytes | None:
+        """Copy the latest published payload of ``rank`` (``None`` if empty)."""
+        header = self._header(rank)
+        for _ in range(64):
+            seq0 = int(header[0])
+            if seq0 == 0:
+                return None
+            if seq0 & 1:
+                continue  # mid-write
+            nbytes = int(header[1])
+            data = bytes(self._payload(rank, nbytes))
+            if int(header[0]) == seq0:
+                return data
+        return None  # writer kept racing us; caller treats it as "no news"
+
+    def read_all(self) -> list[bytes | None]:
+        return [self.read_sample(r) for r in range(self.world_size)]
+
+    def destroy(self) -> None:
+        """Close the mapping and unlink the segment (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self.shm.close()
+        except BufferError:
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass

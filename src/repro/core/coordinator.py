@@ -426,6 +426,13 @@ class ParameterCoordinator:
         scope = get_memscope()
         if scope.enabled:
             scope.sample("abort_step")
+        # flush live-telemetry sinks on every abort path (idempotent): a
+        # rank killed right after the unwind must not leave torn shards
+        from repro.obs.live import get_live
+
+        live = get_live()
+        if live is not None:
+            live.flush()
 
     def on_abort(self, callback: Callable[[], None]) -> None:
         """Register extra cleanup to run at the end of :meth:`abort_step`."""

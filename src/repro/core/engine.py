@@ -39,6 +39,8 @@ from repro.faults.errors import FaultUnrecoverable
 from repro.faults.runtime import get_faults
 from repro.hardware.memory import AllocationError, MemoryLedger
 from repro.nn.init_context import PartitionedInitContext
+from repro.obs.flightrec import get_flightrec
+from repro.obs.live import get_live
 from repro.obs.memscope import get_memscope, mem_sample
 from repro.obs.metrics import get_registry
 from repro.obs.perfscope import (
@@ -381,16 +383,18 @@ class ZeroInfinityEngine:
             while True:
                 try:
                     return self._train_step_traced(rounds)
-                except (FaultUnrecoverable, AllocationError):
+                except (FaultUnrecoverable, AllocationError) as err:
                     # a modeled capacity cap is a configuration error, not
                     # a transient device fault: replaying cannot help
                     if distributed:
                         backend.signal_abort(terminal=True)
+                    self._notify_terminal(err)
                     raise
                 except (OSError, MemoryError) as err:
                     if attempt >= self.config.step_retries:
                         if distributed:
                             backend.signal_abort(terminal=True)
+                        self._notify_terminal(err)
                         raise
                     if distributed:
                         # a locally-raised fault still has peers parked in
@@ -406,9 +410,19 @@ class ZeroInfinityEngine:
                         "engine:step_retry", cat="engine",
                         attempt=attempt, error=type(err).__name__,
                     )
-                except BaseException:
+                    fr = get_flightrec()
+                    if fr is not None:
+                        fr.record(
+                            "retry",
+                            "step_replay",
+                            volatile=True,
+                            attempt=attempt,
+                            error=type(err).__name__,
+                        )
+                except BaseException as err:
                     if distributed:
                         backend.signal_abort(terminal=True)
+                    self._notify_terminal(err)
                     raise
 
     def _train_step_traced(
@@ -425,15 +439,31 @@ class ZeroInfinityEngine:
         # process), but the compute is skipped for non-local ranks and its
         # gather-path accounting is echoed instead (see ProcessGroup docs).
         distributed = not self.comm.all_local
+        live = get_live()
+        fr = get_flightrec()
         mem_sample("step_begin")
+        if live is not None:
+            live.emit(step=self.steps_taken, phase="step_begin")
         try:
             self.coordinator.begin_accumulation()
-            for batches in rounds:
+            for ri, batches in enumerate(rounds):
                 journal = None
                 for rank, batch in enumerate(batches):
                     self.coordinator.begin_rank(rank)
                     if distributed and not self.comm.backend.is_local(rank):
                         continue
+                    # after the locality gate: each process heartbeats (and
+                    # flight-records) only the ranks it actually computes
+                    if live is not None:
+                        live.heartbeat(rank, self.steps_taken)
+                    if fr is not None:
+                        # (the index conflates FlightRecorder.record with the
+                        # schedule recorder's collective hook by simple name;
+                        # this one is a local ring append, no rendezvous)
+                        fr.record(  # lint: allow-rank-divergent-collective
+                            "phase", "forward",
+                            rank=rank, step=self.steps_taken, round=ri,
+                        )
                     if distributed:
                         self.comm.begin_turn_capture()
                     if self.prefetcher is not None:
@@ -441,6 +471,11 @@ class ZeroInfinityEngine:
                     with trace_span("engine:forward", cat="engine", rank=rank):
                         loss = self.model(*batch)
                     losses.append(float(loss))
+                    if fr is not None:
+                        fr.record(  # lint: allow-rank-divergent-collective
+                            "phase", "backward",
+                            rank=rank, step=self.steps_taken, round=ri,
+                        )
                     with trace_span("engine:backward", cat="engine", rank=rank):
                         # Protocol-correct rank divergence: non-local turns are
                         # skipped above, but their collective accounting is
@@ -471,6 +506,19 @@ class ZeroInfinityEngine:
                     for r in range(world)
                 ]
                 self.comm.backend.step_sync()
+            if fr is not None:
+                # canonical comm marker: same position in every backend's
+                # schedule.  The digest itself is volatile — the loop
+                # oracle never folds fingerprints (group._fingerprint
+                # skips all-local backends), so it cannot appear in the
+                # byte-compared tail.
+                fr.record("comm", "step_sync", step=self.steps_taken)
+                if distributed:
+                    fr.record(
+                        "digest", "fingerprint", volatile=True,
+                        step=self.steps_taken,
+                        digest=self.comm.backend.fingerprint_digest,
+                    )
         except Exception:
             # Unwind cleanly: release gathered params, drop banked grads and
             # bucket contents, drain async writes — so the engine (and any
@@ -493,6 +541,10 @@ class ZeroInfinityEngine:
             self.scaler.update(True)
             self._on_step_boundary()
             mem_sample("overflow_skip")
+            if fr is not None:
+                fr.record("phase", "overflow_skip", step=self.steps_taken)
+            if live is not None:
+                live.emit(step=self.steps_taken, phase="overflow_skip")
             return StepResult(losses, skipped=True, loss_scale=scale)
 
         try:
@@ -514,11 +566,19 @@ class ZeroInfinityEngine:
                 kind=type(err).__name__,
             ) from err
         mem_sample("optimizer_step")
+        if fr is not None:
+            fr.record("phase", "optimizer", step=self.steps_taken)
+        if live is not None:
+            live.emit(step=self.steps_taken, phase="optimizer_step")
         self.scaler.update(False)
         self._drop_grads()
         self.steps_taken += 1
         self._on_step_boundary()
         mem_sample("step_end")
+        if fr is not None:
+            fr.record("phase", "step_end", step=self.steps_taken)
+        if live is not None:
+            live.emit(step=self.steps_taken, phase="step_end")
         return StepResult(losses, skipped=False, loss_scale=scale)
 
     def _abort_step_cleanup(self) -> None:
@@ -534,6 +594,17 @@ class ZeroInfinityEngine:
         # abort callbacks may have opened (and leaked) spans of their own;
         # sweep again so the trace leaves the unwind with no dangling spans
         get_tracer().force_close_open(reason="step_abort")
+        # flush telemetry sinks: a worker SIGKILLed right after this abort
+        # must not leave a truncated JSONL shard behind (idempotent)
+        live = get_live()
+        if live is not None:
+            live.flush()
+
+    def _notify_terminal(self, err: BaseException) -> None:
+        """Terminal-failure hook: flush the live plane, dump the postmortem."""
+        live = get_live()
+        if live is not None:
+            live.on_terminal(f"{type(err).__name__}: {err}")
 
     def _discard_pending_checkpoints(self) -> None:
         for block in self._ckpt_blocks:

@@ -99,6 +99,10 @@ class FaultPlane:
         self._fired = [0] * len(self.rules)
         self.events = 0
         self.injected: dict[str, int] = {}  # "kind@site" -> count
+        # cumulative injected virtual delay per rank — the live watchdog's
+        # straggler signal (stragglers advance only the virtual clock, so
+        # wall-clock deadlines alone can never see them)
+        self.delay_us_by_rank: dict[int, int] = {}
 
     # --- decision ---------------------------------------------------------------
     def _matches(
@@ -129,7 +133,9 @@ class FaultPlane:
             self._fired[index] += 1
         return True
 
-    def _record(self, rule: FaultRule, key: Optional[str]) -> None:
+    def _record(
+        self, rule: FaultRule, key: Optional[str], rank: Optional[int] = None
+    ) -> None:
         label = f"{rule.kind}@{rule.site}"
         with self._lock:
             self.injected[label] = self.injected.get(label, 0) + 1
@@ -138,6 +144,14 @@ class FaultPlane:
             "faults:inject", cat="faults",
             kind=rule.kind, site=rule.site, key=key or "",
         )
+        from repro.obs.flightrec import get_flightrec  # lazy: import cycle
+
+        fr = get_flightrec()
+        if fr is not None:
+            fr.record(
+                "fault", label, rank=rank, key=key or "",
+                delay_us=rule.delay_us if rule.kind in ("slow", "straggler") else 0,
+            )
 
     # --- event sites ------------------------------------------------------------
     def on_event(
@@ -160,7 +174,7 @@ class FaultPlane:
                 continue
             if not self._decide(i, rule):
                 continue
-            self._record(rule, key)
+            self._record(rule, key, rank)
             where = f"at {site}" + (f" on {key!r}" if key else "")
             if rule.kind == "io_error":
                 raise InjectedIOError(
@@ -177,6 +191,11 @@ class FaultPlane:
             # slow / straggler: virtual latency only
             self.clock.advance(rule.delay_us)
             get_registry().counter("faults.injected_delay_us").inc(rule.delay_us)
+            if rank is not None:
+                with self._lock:
+                    self.delay_us_by_rank[rank] = (
+                        self.delay_us_by_rank.get(rank, 0) + rule.delay_us
+                    )
 
     def corrupt(
         self, site: str, buffer: np.ndarray, *, key: Optional[str] = None

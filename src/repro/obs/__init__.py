@@ -17,7 +17,14 @@ its own timeline in :mod:`repro.sim`).  Three pieces:
   stall/overlap, exact to the wall-clock), stall attribution by cause and
   owner, and critical-path extraction over the span DAG;
 * :mod:`repro.obs.perfreport` — measured-vs-model bandwidth drift reports
-  (Eqs. 6-11) with stall-driven knob recommendations.
+  (Eqs. 6-11) with stall-driven knob recommendations;
+* :mod:`repro.obs.live` — the live telemetry plane: per-rank sample
+  streaming (in-process or over the shm telemetry ring), a health
+  watchdog (heartbeat skew, stragglers, pressure alarms), and the
+  ``train-demo --live`` ASCII dashboard;
+* :mod:`repro.obs.flightrec` — the crash flight recorder: bounded
+  per-rank event rings dumped as a deterministic postmortem bundle on
+  terminal failures.
 
 Typical use::
 
@@ -98,8 +105,30 @@ from repro.obs.export import (
     telemetry_summary,
     write_chrome_trace,
     write_merged_chrome_trace,
+    write_metrics_jsonl,
     write_sim_trace,
     write_spans_jsonl,
+)
+from repro.obs.live import (
+    ClusterView,
+    HealthEvent,
+    HealthWatchdog,
+    LiveConfig,
+    LivePlane,
+    TelemetrySample,
+    get_live,
+    install_live,
+    merge_telemetry_shards,
+    render_dashboard,
+    use_live,
+)
+from repro.obs.flightrec import (
+    FlightEvent,
+    FlightRecorder,
+    dump_postmortem,
+    get_flightrec,
+    install_flightrec,
+    use_flightrec,
 )
 
 __all__ = [
@@ -159,6 +188,24 @@ __all__ = [
     "telemetry_summary",
     "write_chrome_trace",
     "write_merged_chrome_trace",
+    "write_metrics_jsonl",
     "write_sim_trace",
     "write_spans_jsonl",
+    "ClusterView",
+    "HealthEvent",
+    "HealthWatchdog",
+    "LiveConfig",
+    "LivePlane",
+    "TelemetrySample",
+    "get_live",
+    "install_live",
+    "merge_telemetry_shards",
+    "render_dashboard",
+    "use_live",
+    "FlightEvent",
+    "FlightRecorder",
+    "dump_postmortem",
+    "get_flightrec",
+    "install_flightrec",
+    "use_flightrec",
 ]

@@ -148,13 +148,25 @@ def merged_chrome_trace(shards) -> dict:
     Each :class:`~repro.comm.launcher.TraceShard` becomes its own trace
     *process* (``pid`` = rank, named ``rank N``), keeping every rank's
     lanes and stall track intact — the view Perfetto gives a real
-    multi-process distributed run.  Timestamps are already comparable:
-    ranks are forked from one parent, so their monotonic clocks share an
-    epoch.
+    multi-process distributed run.
+
+    Each rank's Tracer subtracts its *own* construction-time monotonic
+    epoch from every timestamp, so raw shard times each start near zero.
+    The shards carry that epoch (``TraceShard.epoch_ns``, exchanged at
+    the result-collection rendezvous); here every shard is shifted by its
+    offset from the earliest epoch so spans from different pids align on
+    one run timeline.  CLOCK_MONOTONIC is system-wide across forked
+    processes on Linux, so the offsets are directly comparable.  Shards
+    without an epoch (older captures) are left at their own zero.
     """
     events: list[dict] = []
     dropped = 0
+    epochs = [int(getattr(s, "epoch_ns", 0) or 0) for s in shards]
+    known = [e for e in epochs if e]
+    origin = min(known) if known else 0
     for shard in sorted(shards, key=lambda s: s.rank):
+        epoch = int(getattr(shard, "epoch_ns", 0) or 0)
+        shift_us = (epoch - origin) / 1e3 if epoch else 0.0
         events.append(
             {
                 "ph": "M",
@@ -173,6 +185,8 @@ def merged_chrome_trace(shards) -> dict:
         )
         for ev in chrome_trace_events(_ShardView(shard)):
             ev["pid"] = shard.rank
+            if shift_us and "ts" in ev:
+                ev["ts"] += shift_us
             events.append(ev)
         dropped += shard.dropped
     return {
@@ -182,6 +196,7 @@ def merged_chrome_trace(shards) -> dict:
             "source": "repro.obs",
             "ranks": len(shards),
             "dropped_spans": dropped,
+            "clock": "normalized" if known else "per-rank",
         },
     }
 
@@ -267,6 +282,27 @@ def write_spans_jsonl(path: str, tracer: Tracer, *, run_name: str = "") -> int:
     return len(records)
 
 
+def write_metrics_jsonl(
+    path: str,
+    metrics: Optional[MetricsRegistry] = None,
+    *,
+    run_name: str = "",
+) -> int:
+    """Export the registry snapshot to ``path`` as JSONL.
+
+    One ``event="metric"`` record per instrument, carrying the full
+    snapshot — histograms include the ``p50``/``p95``/``p99`` quantiles,
+    so downstream dashboards get the same view the live dashboard shows.
+    """
+    from repro.workloads.metrics import MetricsLogger  # local: circular import
+
+    snap = (metrics if metrics is not None else get_registry()).snapshot()
+    with MetricsLogger(path, run_name=run_name, flush_every=256) as log:
+        for name, s in snap.items():
+            log.log("metric", name=name, **s)
+    return len(snap)
+
+
 def telemetry_summary(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -301,7 +337,8 @@ def telemetry_summary(
                 value = s["count"]
                 extra = (
                     f"mean {s['mean']:.1f} p50 {s['p50']:.1f}"
-                    f" p99 {s['p99']:.1f} max {s['max']:.1f}"
+                    f" p95 {s['p95']:.1f} p99 {s['p99']:.1f}"
+                    f" max {s['max']:.1f}"
                 )
             t.add_row([name, kind, value, extra])
         parts.append(t.render())

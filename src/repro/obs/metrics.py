@@ -140,6 +140,7 @@ class Histogram:
             "min": self._min if self.count else 0.0,
             "max": self._max if self.count else 0.0,
             "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
 

@@ -354,6 +354,166 @@ def measure_perfscope_overhead(
     )
 
 
+@dataclass
+class LiveOverheadReport:
+    """What the live telemetry plane + flight recorder cost per step.
+
+    The engine's hot-path hooks are ``get_live()`` / ``get_flightrec()``
+    global reads (``None`` when the plane is not installed), so the
+    disabled model is *per-lookup cost x hook sites per step*; the
+    enabled path — sample serialization, transport publish, stall
+    folding, flight-ring appends — is measured interleaved.
+    """
+
+    step_disabled_s: float  # min step time, plane not installed
+    step_enabled_s: float  # min step time, plane + recorder installed
+    ops_per_step: int  # live hooks + flight records one step makes
+    noop_call_s: float  # per-call cost of a get_live() miss
+    emit_call_s: float  # per-call cost of an enabled emit (publish incl.)
+    samples_per_step: int  # telemetry samples one step publishes
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Modeled no-op overhead fraction of the disabled step time."""
+        return self.ops_per_step * self.noop_call_s / self.step_disabled_s
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Measured enabled-plane overhead fraction."""
+        return self.step_enabled_s / self.step_disabled_s - 1.0
+
+    @property
+    def steps_per_s(self) -> float:
+        return 1.0 / self.step_disabled_s if self.step_disabled_s > 0 else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"step (live off):     {self.step_disabled_s * 1e3:8.2f} ms",
+                f"step (live on):      {self.step_enabled_s * 1e3:8.2f} ms",
+                f"hook ops per step:   {self.ops_per_step:8d}",
+                f"samples per step:    {self.samples_per_step:8d}",
+                f"no-op hook call:     {self.noop_call_s * 1e9:8.1f} ns",
+                f"enabled emit call:   {self.emit_call_s * 1e9:8.1f} ns",
+                f"disabled overhead:   {self.disabled_overhead:8.3%}",
+                f"enabled overhead:    {self.enabled_overhead:8.3%}",
+            ]
+        )
+
+
+def _per_live_noop_cost(calls: int) -> float:
+    """Seconds per disabled hook site: a get_live() miss plus the check."""
+    from repro.obs.live import get_live
+
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        if get_live() is not None:  # pragma: no cover - plane not installed
+            raise AssertionError("plane installed during no-op timing")
+    elapsed = time.perf_counter() - t0
+    return elapsed / calls
+
+
+def _per_emit_cost(calls: int) -> float:
+    """Seconds per enabled LivePlane.emit against a local transport."""
+    from repro.obs.live import LiveConfig, LivePlane
+
+    plane = LivePlane(world=1, rank=0, config=LiveConfig())
+    try:
+        t0 = time.perf_counter()
+        for i in range(calls):
+            plane.emit(step=i, phase="bench")
+        elapsed = time.perf_counter() - t0
+    finally:
+        plane.close()
+    return elapsed / calls
+
+
+def measure_live_overhead(
+    *,
+    reps: int = 7,
+    hidden_dim: int = 160,
+    num_layers: int = 2,
+    world_size: int = 2,
+    micro_calls: int = 20_000,
+) -> LiveOverheadReport:
+    """Run a small CPU-offloaded engine step with the live plane off and on.
+
+    Same protocol as :func:`measure_memscope_overhead`: the disabled path
+    is modeled (per-call ``get_live()`` miss cost x hook sites per step,
+    from :attr:`LivePlane.op_count` + :attr:`FlightRecorder.op_count`),
+    the enabled path is measured interleaved with GC off against an
+    in-process transport plus an installed flight recorder.
+    """
+    from repro.core.config import OffloadConfig, OffloadDevice, ZeroConfig
+    from repro.core.engine import ZeroInfinityEngine
+    from repro.nn import GPTModel, TransformerConfig
+    from repro.obs.flightrec import FlightRecorder, use_flightrec
+    from repro.obs.live import LiveConfig, LivePlane, use_live
+    from repro.utils.rng import seeded_rng
+
+    model_cfg = TransformerConfig(
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        num_heads=4,
+        vocab_size=128,
+        max_seq=32,
+    )
+    zero_cfg = ZeroConfig(
+        world_size=world_size,
+        offload=OffloadConfig(
+            param_device=OffloadDevice.CPU,
+            grad_device=OffloadDevice.CPU,
+            optimizer_device=OffloadDevice.CPU,
+        ),
+        loss_scale=1.0,
+    )
+    rng = seeded_rng(3)
+    batches = [
+        (rng.integers(0, 128, (2, 32)), rng.integers(0, 128, (2, 32)))
+        for _ in range(world_size)
+    ]
+
+    def fresh_plane() -> tuple[LivePlane, FlightRecorder]:
+        return (
+            LivePlane(world=world_size, config=LiveConfig()),
+            FlightRecorder(),
+        )
+
+    with ZeroInfinityEngine(
+        zero_cfg, model_factory=lambda: GPTModel(model_cfg, rng=seeded_rng(0))
+    ) as engine:
+        step = lambda: engine.train_step(batches)  # noqa: E731
+        step()  # warm-up: caches primed, buffers allocated
+        plane, rec = fresh_plane()
+        with use_flightrec(rec), use_live(plane):
+            step()
+            ops_per_step = plane.op_count + rec.op_count
+            samples_per_step = plane.samples_published
+        disabled_s = enabled_s = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                gc.collect()
+                disabled_s = min(disabled_s, _timed(step))
+                gc.collect()
+                plane, rec = fresh_plane()
+                with use_flightrec(rec), use_live(plane):
+                    enabled_s = min(enabled_s, _timed(step))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    return LiveOverheadReport(
+        step_disabled_s=disabled_s,
+        step_enabled_s=enabled_s,
+        ops_per_step=ops_per_step,
+        noop_call_s=_per_live_noop_cost(micro_calls),
+        emit_call_s=_per_emit_cost(micro_calls),
+        samples_per_step=samples_per_step,
+    )
+
+
 def measure_overhead(
     *,
     reps: int = 7,

@@ -144,6 +144,24 @@ class Tracer:
             raw = list(self._records)
         return [SpanRecord(*r) for r in raw]
 
+    @property
+    def epoch_ns(self) -> int:
+        """Monotonic-clock origin all record timestamps are relative to.
+
+        Carried on trace shards so the merged multi-rank exporter can
+        normalize per-process clock origins onto one timeline.
+        """
+        return self._epoch_ns
+
+    def raw_since(self, index: int) -> tuple[int, list[tuple]]:
+        """``(new_index, raw records[index:])`` — incremental cheap reads.
+
+        Used by the live telemetry plane to fold the stall spans committed
+        since the previous sample without materialising SpanRecords.
+        """
+        with self._lock:
+            return len(self._records), self._records[index:]
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)

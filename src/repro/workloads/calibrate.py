@@ -249,20 +249,42 @@ def measure_mp_speedup(
 
 
 def run_mp_training(
-    spec: CalibSpec, *, timeout: float = 120.0, trace: bool = False
+    spec: CalibSpec,
+    *,
+    timeout: float = 120.0,
+    trace: bool = False,
+    live=None,
+    faults: str = "",
+    faults_seed: int = 0,
+    on_view=None,
+    view_interval: float = 0.5,
 ):
     """Run the spec with one process per rank; returns ``(run, shards)``.
 
     Every rank process returns its own :class:`CalibRun`; the replicated
     execution model makes them identical, which is asserted here before
     rank 0's is returned (``shards`` is None unless ``trace``).
+
+    ``live`` (bool or :class:`~repro.obs.live.LiveConfig`) threads the
+    telemetry plane through the launcher; ``faults`` installs a fault
+    spec inside every worker (the schedule replicates per process, like
+    the loop oracle's).  ``on_view`` receives parent-side
+    :class:`~repro.obs.live.ClusterView` polls.
     """
     from repro.comm import run_multiproc
 
     def worker(backend):
+        if faults:
+            from repro.faults.runtime import use_faults
+
+            with use_faults(faults, seed=faults_seed):
+                return run_training(spec, comm_backend=backend)
         return run_training(spec, comm_backend=backend)
 
-    out = run_multiproc(spec.world, worker, timeout=timeout, trace=trace)
+    out = run_multiproc(
+        spec.world, worker, timeout=timeout, trace=trace, live=live,
+        on_view=on_view, view_interval=view_interval,
+    )
     runs = out.results
     for rank, run in enumerate(runs[1:], start=1):
         if run.numerics() != runs[0].numerics():

@@ -61,6 +61,15 @@ class MetricsLogger:
     def closed(self) -> bool:
         return self._closed
 
+    def flush(self) -> None:
+        """Force buffered lines to disk without closing (idempotent).
+
+        Abort paths call this so a worker killed right after an abort
+        never leaves a shard missing its most recent events.
+        """
+        if not self._closed and not self._fh.closed:
+            self._fh.flush()
+
     def close(self) -> None:
         """Flush and close; safe to call more than once."""
         if self._closed:

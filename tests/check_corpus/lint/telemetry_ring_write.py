@@ -1,0 +1,27 @@
+"""Bug: a subsystem publishes its own payload straight into the
+telemetry ring.
+
+``TelemetryRing.put_sample`` is a single-writer-per-slot seqlock: the
+owning rank's :class:`~repro.obs.live.LivePlane` is the one writer of
+its slot.  A second writer — here, a prefetcher pushing an ad-hoc status
+blob — can interleave with the plane's odd/even sequence protocol
+(readers then see a torn payload as "published") and its payload isn't a
+:class:`TelemetrySample`, so the aggregator's decode fails and the rank
+reads as silent.  The ``telemetry-ring-write`` lint rule bans
+``put_sample`` calls outside ``repro.obs.live``; the fix is to surface
+the state through the plane (a counter the sample already carries, or
+``LivePlane.emit``).
+
+Static corpus: this file is never imported by the runtime checker harness;
+``tests/test_lint.py`` lints its source as if it lived at ``LINT_AS``.
+"""
+
+import json
+
+LINT_AS = "repro/core/prefetch.py"
+EXPECT = "telemetry-ring-write"
+
+
+def report_prefetch_depth(ring, rank: int, depth: int) -> None:
+    payload = json.dumps({"prefetch_depth": depth}).encode()
+    ring.put_sample(rank, payload)  # <- the bug: second writer on the slot

@@ -1,0 +1,34 @@
+"""Tier-1 guard for the live telemetry overhead contract.
+
+A lighter twin of ``benchmarks/bench_live_overhead.py``: the engine's
+live-plane and flight-recorder hooks ship always-compiled (heartbeats,
+phase emits, ring appends), so the no-op fast path — a ``get_live()`` /
+``get_flightrec()`` global miss — must stay under 2% of a step and the
+enabled plane under 10%.  Timing tests on shared CI boxes flake under
+load, so a measurement over budget is retried up to twice — a real
+regression fails all three attempts.
+"""
+
+from repro.obs.overhead import measure_live_overhead
+
+DISABLED_BUDGET = 0.02
+ENABLED_BUDGET = 0.10
+ATTEMPTS = 3
+
+
+def test_live_overhead_within_budget():
+    report = None
+    for _ in range(ATTEMPTS):
+        report = measure_live_overhead()
+        if (
+            report.disabled_overhead < DISABLED_BUDGET
+            and report.enabled_overhead < ENABLED_BUDGET
+        ):
+            break
+    assert report.ops_per_step > 5, report.render()
+    assert report.samples_per_step > 0, report.render()
+    assert report.disabled_overhead < DISABLED_BUDGET, report.render()
+    assert report.enabled_overhead < ENABLED_BUDGET, report.render()
+    # sanity on the model's ingredients
+    assert 0 < report.noop_call_s < report.emit_call_s
+    assert report.step_disabled_s > 0

@@ -85,6 +85,25 @@ def measure_memscope() -> dict:
     }
 
 
+def measure_livetel() -> dict:
+    from repro.obs.overhead import measure_live_overhead
+
+    r = measure_live_overhead()
+    return {
+        "step_disabled_s": r.step_disabled_s,
+        "step_enabled_s": r.step_enabled_s,
+        "steps_per_s": r.steps_per_s,
+        "ops_per_step": r.ops_per_step,
+        "samples_per_step": r.samples_per_step,
+        "noop_call_s": r.noop_call_s,
+        "emit_call_s": r.emit_call_s,
+        "disabled_overhead": r.disabled_overhead,
+        "enabled_overhead": r.enabled_overhead,
+        "disabled_budget": 0.02,
+        "enabled_budget": 0.10,
+    }
+
+
 def measure_mp() -> dict:
     from repro.workloads.calibrate import measure_mp_speedup
 
@@ -158,7 +177,10 @@ def render_rows(rows: list[tuple]) -> str:
 def run_gate(
     *, skip_memscope: bool = False, skip_mp: bool = False, update: bool = False
 ) -> int:
-    targets = [("perfscope", "BENCH_perfscope.json", measure_perfscope)]
+    targets = [
+        ("perfscope", "BENCH_perfscope.json", measure_perfscope),
+        ("livetel", "BENCH_livetel.json", measure_livetel),
+    ]
     if not skip_memscope:
         targets.append(("memscope", "BENCH_memscope.json", measure_memscope))
     if not skip_mp:
