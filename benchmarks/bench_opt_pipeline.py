@@ -1,0 +1,50 @@
+"""Overlapped optimizer pipeline: serial reference vs double-buffered stream.
+
+The chunked NVMe optimizer step used to be the last serial tail in the
+step: every chunk's state reads and write-backs were awaited inline while
+compute idled, and perfscope billed the wait to ``optimizer_io_tail``.
+The double-buffered pipeline (``OffloadConfig.optimizer_pipeline``, on by
+default) keeps chunk ``k+1``'s reads and chunk ``k-1``'s shadow writes in
+flight while chunk ``k`` computes, draining the write tail once at the
+transaction's commit barrier.
+
+This bench runs the same seeded NVMe workload through both schedules via
+:func:`repro.workloads.calibrate.measure_opt_pipeline`, asserts the two
+are **bit-identical** (the overlap is scheduling, never arithmetic), and
+requires the pipelined run to cut the ``optimizer_io_tail`` stall time by
+at least ``OPTPIPE_TAIL_TARGET`` (30%).  The machine-readable result is
+persisted to ``BENCH_optpipe.json`` at the repo root, where
+``tools/perf_gate.py`` ratchets both the reduction floor and the serial
+(pipeline-off) step rate, so neither schedule can quietly regress.
+"""
+
+import json
+import os
+
+from repro.workloads.calibrate import OPTPIPE_TAIL_TARGET, measure_opt_pipeline
+
+
+def test_opt_pipeline_tail_contract(emit, benchmark):
+    report = benchmark.pedantic(measure_opt_pipeline, rounds=1, iterations=1)
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_optpipe.json",
+    )
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    lines = [
+        f"world {report['world']}  steps {report['steps']}"
+        f"  chunk_numel {report['chunk_numel']}",
+        f"serial    {report['steps_per_s']:.3f} steps/s"
+        f"  tail {report['tail_us_serial'] / 1e3:.1f} ms",
+        f"pipelined {report['steps_per_s_pipelined']:.3f} steps/s"
+        f"  tail {report['tail_us_pipelined'] / 1e3:.1f} ms",
+        f"tail reduction {report['tail_reduction']:.1%}"
+        f"  (target >= {report['target_reduction']:.0%})",
+    ]
+    emit("BENCH_optpipe", "\n".join(lines))
+
+    assert report["bit_identical"]
+    assert report["tail_reduction"] >= OPTPIPE_TAIL_TARGET

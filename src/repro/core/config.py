@@ -46,6 +46,13 @@ class OffloadConfig:
     pinned_budget_bytes: int = 2 * GB  # pinned staging pool (Sec. 6.3)
     nvme_dir: Optional[str] = None  # spool directory; temp dir when None
     optimizer_chunk_numel: int = 1 << 20  # NVMe optimizer streaming chunk
+    # Double-buffered optimizer streaming: while chunk k updates, chunk
+    # k+1's state is in flight from NVMe and finished chunks' write-backs
+    # drain in the background.  False selects the fully serial reference
+    # schedule (read, wait, update, write, wait — one chunk at a time),
+    # which is the bit-exactness oracle for the pipelined path and the
+    # contrast workload behind ``BENCH_optpipe.json``.
+    optimizer_pipeline: bool = True
     # Resilience (repro.faults, docs/resilience.md): bounded per-block retry
     # of failed preads/pwrites, CRC verification of every spool fetch, and
     # write-temp-then-rename spool commits.  Retry backoff advances the
@@ -105,6 +112,14 @@ class ZeroConfig:
     # stage3_param_persistence_threshold) — small biases and norms are not
     # worth an allgather each use.  0 partitions everything.
     param_persistence_threshold_numel: int = 0
+    # Delayed parameter update (ZeRO-Offload's DPU): apply the optimizer
+    # update for step t's gradients one step late, so the deferred update
+    # overlaps step t+1's forward/backward instead of serialising behind
+    # its own step.  Training sees each parameter update with one step of
+    # staleness; ``scale_delayed_lr`` multiplies the learning rate of
+    # delayed updates as the staleness correction.
+    delayed_update: bool = False
+    scale_delayed_lr: float = 1.0
     # Step-level recovery (docs/resilience.md): how many times the engine
     # replays a step whose forward/backward died of a recoverable I/O or
     # memory fault before giving up.  0 disables replay.
@@ -189,6 +204,18 @@ class ZeroConfig:
             raise ValueError("offload.io_retries must be >= 0 (0 disables)")
         if off.io_backoff_us < 0:
             raise ValueError("offload.io_backoff_us must be >= 0")
+        if self.scale_delayed_lr <= 0:
+            raise ValueError(
+                f"scale_delayed_lr={self.scale_delayed_lr} disables (or"
+                " inverts) every delayed update; use a positive multiplier"
+            )
+        if self.scale_delayed_lr != 1.0 and not self.delayed_update:
+            raise ValueError(
+                f"scale_delayed_lr={self.scale_delayed_lr} without"
+                " delayed_update is contradictory — the correction only"
+                " applies to delayed updates; enable delayed_update or"
+                " leave the multiplier at 1.0"
+            )
         return self
 
 

@@ -41,6 +41,16 @@ from repro.obs.tracer import get_tracer, trace_span
 from repro.tensor.flat import pad_to_multiple
 
 
+def grad_shard_key(param: Parameter, rank: int) -> str:
+    """Offload key of the reduced fp16 gradient shard rank ``r`` owns.
+
+    The coordinator writes these (reduce-scatter output) and the optimizer
+    consumes them; both sides share this helper so the contract lives in
+    one place.
+    """
+    return f"p{param.unique_id}.r{rank}.grad16"
+
+
 @dataclass
 class CoordinatorStats:
     gathers: int = 0
@@ -286,7 +296,7 @@ class ParameterCoordinator:
         self, param: Parameter, rank: int, shard: np.ndarray
     ) -> None:
         """Place one reduced gradient shard (accumulating across rounds)."""
-        key = f"p{param.unique_id}.r{rank}.grad16"
+        key = grad_shard_key(param, rank)
         if self.accumulating:
             if key in self._accum_seen:
                 # the prior round's async write must land first
@@ -336,6 +346,19 @@ class ParameterCoordinator:
                 for handle in self._grad_handles:
                     handle.wait()
             self._grad_handles.clear()
+
+    def sequence_delayed_update(
+        self, optimizer, *, grad_scale: float, defer_current: bool = True
+    ) -> None:
+        """Sequence one delayed-update (DPU) optimizer turn.
+
+        The in-flight gradient writes must land before the optimizer
+        harvests this step's shards; the harvested set then becomes the
+        update applied at the *next* step boundary, which is what lets the
+        deferred apply overlap the following forward/backward.
+        """
+        self.flush_grad_offload()
+        optimizer.delayed_step(grad_scale=grad_scale, defer_current=defer_current)
 
     # --- accumulation lifecycle --------------------------------------------------
     def begin_accumulation(self) -> None:

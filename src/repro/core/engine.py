@@ -536,6 +536,22 @@ class ZeroInfinityEngine:
             self._abort_step_cleanup()
             raise
         if overflowed:
+            if self.config.delayed_update:
+                # the previous step's deferred update is already owed and
+                # its gradients predate the overflow; apply it (without
+                # harvesting this step's garbage) before skipping
+                try:
+                    with trace_span(
+                        "engine:optimizer", cat="engine", scale=grad_scale
+                    ):
+                        self.coordinator.sequence_delayed_update(
+                            self.optimizer,
+                            grad_scale=grad_scale,
+                            defer_current=False,
+                        )
+                except Exception:
+                    self._abort_step_cleanup()
+                    raise
             self.steps_skipped += 1
             self._drop_grads()
             self.scaler.update(True)
@@ -549,22 +565,21 @@ class ZeroInfinityEngine:
 
         try:
             with trace_span("engine:optimizer", cat="engine", scale=grad_scale):
-                self.optimizer.step(grad_scale=grad_scale)
-        except (FaultUnrecoverable, AllocationError):
+                if self.config.delayed_update:
+                    self.coordinator.sequence_delayed_update(
+                        self.optimizer, grad_scale=grad_scale
+                    )
+                else:
+                    self.optimizer.step(grad_scale=grad_scale)
+        except Exception:
+            # The optimizer step is transactional (zero_optimizer shadow-
+            # buffers every write and rolls back on fault), so after the
+            # unwind a recoverable I/O/memory fault replays bit-identically
+            # through the same retry tier as forward/backward faults.
+            # FaultUnrecoverable (a fault inside the commit window) and
+            # AllocationError stay terminal via the caller's dispatch.
             self._abort_step_cleanup()
             raise
-        except (OSError, MemoryError) as err:
-            # The optimizer mutates master/exp_avg shards in place as it
-            # streams, so a mid-step fault leaves them part-updated and a
-            # replay would apply Adam twice to the finished chunks.
-            # Escalate to terminal after unwinding.
-            self._abort_step_cleanup()
-            get_registry().counter("faults.step_unrecoverable").inc()
-            raise FaultUnrecoverable(
-                f"optimizer update died mid-stream: {err}",
-                site="engine.optimizer",
-                kind=type(err).__name__,
-            ) from err
         mem_sample("optimizer_step")
         if fr is not None:
             fr.record("phase", "optimizer", step=self.steps_taken)
@@ -640,6 +655,38 @@ class ZeroInfinityEngine:
             return loss
         finally:
             self.model.train(was_training)
+
+    def flush_delayed_update(self) -> bool:
+        """Apply the deferred optimizer update still owed (delayed mode).
+
+        Call before evaluating or gathering state: with
+        ``config.delayed_update`` on, the last ``train_step``'s update is
+        still pending.  The apply is transactional, so a recoverable I/O
+        fault rolls back and retries through the engine's step-replay
+        budget, exactly like an in-step optimizer fault.  Returns True
+        when a pending update was applied.
+        """
+        if not self.config.delayed_update:
+            return False
+        attempt = 0
+        while True:
+            try:
+                with trace_span("engine:optimizer_flush", cat="engine"):
+                    return self.optimizer.flush_delayed()
+            except (FaultUnrecoverable, AllocationError) as err:
+                self._notify_terminal(err)
+                raise
+            except (OSError, MemoryError) as err:
+                if attempt >= self.config.step_retries:
+                    self._notify_terminal(err)
+                    raise
+                attempt += 1
+                self.step_retries_used += 1
+                get_registry().counter("faults.step_retries").inc()
+                trace_instant(
+                    "engine:step_retry", cat="engine",
+                    attempt=attempt, error=type(err).__name__,
+                )
 
     def gather_state(self) -> dict[str, np.ndarray]:
         """Full (unpartitioned) copy of every parameter, by name."""

@@ -36,7 +36,7 @@ from repro.obs.metrics import get_registry
 from repro.obs.perfscope import stall_span
 from repro.obs.tracer import trace_span
 from repro.nvme.buffers import PinnedBuffer, PinnedBufferPool
-from repro.nvme.store import TensorStore
+from repro.nvme.store import TensorStore, shadow_key
 from repro.tensor.device import CPU, gpu
 
 
@@ -220,6 +220,55 @@ class InfinityOffloadEngine:
                     return None
                 return req
         raise ValueError(f"unknown offload device {device}")
+
+    # --- staged (double-buffered) NVMe updates ------------------------------------
+    #
+    # The transactional optimizer step never overwrites a live NVMe record
+    # in place: fallible writes stream into the key's shadow record, and
+    # only once every byte has landed does ``promote_staged`` rename the
+    # shadow over the primary — an infallible commit, so a fault at any
+    # point leaves the primaries untouched and the step replayable.
+    def stage_nvme(
+        self, key: str, array: np.ndarray, *, rank: int
+    ) -> IORequest:
+        """Begin writing ``array`` into ``key``'s shadow record.
+
+        Byte accounting matches :meth:`stash`'s NVMe path — the bytes
+        cross the same host link whether they land in the primary or its
+        shadow.  Commit with :meth:`promote_staged`, abandon with
+        :meth:`discard_staged`.
+        """
+        if self.store is None:
+            raise RuntimeError("NVMe staging requires a store")
+        arr = np.ascontiguousarray(array)
+        with trace_span(
+            "offload:swap_out", cat="offload", tier="nvme",
+            bytes=int(arr.nbytes), rank=rank, staged=True,
+        ):
+            self.counters.add_link(rank, arr.nbytes)
+            self.counters.nvme_write_bytes += arr.nbytes
+            return self.store.write_async(shadow_key(key), arr)
+
+    def promote_staged(self, key: str) -> None:
+        """Rename ``key``'s fully written shadow record onto the primary.
+
+        Drains any in-flight prefetch of the primary first (the rename
+        must not race a read staging stale bytes) and drops a resident
+        copy — the promoted record is now the single source of truth.
+        """
+        if self.store is None:
+            raise RuntimeError("NVMe staging requires a store")
+        with self._lock:
+            inflight = self._inflight.pop(key, None)
+        if inflight is not None:
+            self._abandon_inflight(inflight)
+        self._drop_mem(key)  # key may migrate tiers
+        self.store.promote(shadow_key(key), key)
+
+    def discard_staged(self, key: str) -> None:
+        """Drop ``key``'s shadow record (transaction rollback path)."""
+        if self.store is not None:
+            self.store.delete(shadow_key(key))
 
     # --- in-place slice update ----------------------------------------------------
     def update_slice(

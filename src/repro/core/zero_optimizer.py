@@ -15,20 +15,41 @@ State placement follows ``OffloadConfig.optimizer_device``:
   the Sec. 5.2.2 pattern ("bring the data from NVMe to CPU memory ... in
   chunks that can fit in the CPU memory ... one chunk at a time", with
   "NVMe to CPU reads [overlapping] CPU to NVMe writes").
+
+The step is a *transaction*.  Every durable effect is staged first — NVMe
+writes land in ``.pipe`` shadow records, in-memory installs and parameter
+write-backs are deferred as commit closures — and only after every fallible
+read/write has drained does the commit phase promote shadows over the live
+records (``os.replace``) and run the installs.  A recoverable I/O fault
+anywhere before the commit point rolls the step back to its pre-step state
+(shadows deleted, ``step`` counters restored, primaries untouched), so the
+engine's step-replay tier can re-run the optimizer phase bit-identically
+instead of escalating to :class:`~repro.faults.errors.FaultUnrecoverable`.
+
+``ZeroConfig.delayed_update`` selects ZeRO-Offload's delayed parameter
+update (DPU): step ``t``'s gradients are harvested into memory and applied
+one step late via :meth:`ZeroPartitionedAdam.delayed_step`, so the deferred
+update overlaps step ``t+1``'s forward/backward instead of serialising
+behind its own step.  ``scale_delayed_lr`` multiplies the learning rate of
+delayed updates as the staleness correction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.comm.group import ProcessGroup
 from repro.core.config import OffloadDevice, ZeroConfig, ZeroStage
+from repro.core.coordinator import grad_shard_key
 from repro.core.offload import InfinityOffloadEngine
 from repro.core.partition import ParameterPartitioner
+from repro.faults.errors import FaultUnrecoverable
 from repro.nn.parameter import Parameter
+from repro.nvme.store import shadow_key
+from repro.obs.metrics import get_registry
 from repro.obs.perfscope import stall_span
 from repro.optim.adam import adam_step
 from repro.tensor.flat import pad_to_multiple
@@ -43,6 +64,100 @@ class _ShardRef:
     exp_avg_sq: str
     grad: str
     step: int = 0
+
+
+class _StepTxn:
+    """Bookkeeping for one transactional optimizer step.
+
+    ``writes`` holds in-flight shadow writes (fallible; drained before the
+    commit point), ``shadows`` the primary keys whose shadow records exist
+    (deleted on rollback), and ``commits`` the phase-B actions.  Every
+    commit action is rename- or memory-only, so once the drain succeeds the
+    step cannot fail on a recoverable I/O fault.
+
+    ``pipelined`` mirrors ``OffloadConfig.optimizer_pipeline``: when False
+    the step runs the serial reference schedule — every staged write is
+    awaited inline at its issue site instead of accumulating into the
+    commit-barrier drain — which is the bit-exactness oracle for the
+    pipelined path.
+    """
+
+    __slots__ = ("writes", "shadows", "commits", "pipelined")
+
+    def __init__(self, pipelined: bool) -> None:
+        self.writes: list = []
+        self.shadows: list[str] = []
+        self.commits: list[Callable[[], None]] = []
+        self.pipelined = pipelined
+
+    def stage_write(self, req, *, owner: str) -> None:
+        """Track one shadow write: deferred (pipelined) or awaited inline."""
+        if self.pipelined:
+            self.writes.append(req)
+            return
+        with stall_span(
+            "optimizer_io_tail",
+            owner=owner,
+            kind="write",
+            req=getattr(req, "token", None),
+        ):
+            req.wait()
+
+    def drain_writes(self) -> None:
+        """Commit barrier: every shadow write must land before promotion."""
+        if not self.writes:
+            return
+        with stall_span(
+            "optimizer_io_tail",
+            owner="commit_barrier",
+            kind="write_tail",
+            writes=len(self.writes),
+            req=getattr(self.writes[-1], "token", None),
+        ):
+            for req in self.writes:
+                req.wait()
+        self.writes.clear()
+
+    def rollback(self, offload: InfinityOffloadEngine) -> None:
+        """Throw the step away, leaving every primary record untouched.
+
+        In-flight writes are drained tolerantly first — their buffers must
+        not be reused while I/O is pending, and the step is already being
+        aborted for the root-cause fault, so secondary failures are counted
+        rather than raised.
+        """
+        for req in self.writes:
+            try:
+                req.wait()
+            except (OSError, MemoryError):
+                get_registry().counter("faults.aborted_writes").inc()
+        self.writes.clear()
+        for key in self.shadows:
+            offload.discard_staged(key)
+        self.shadows.clear()
+        self.commits.clear()
+
+    def commit(self) -> None:
+        """Phase B: promote every shadow and run the in-memory installs.
+
+        The only fallible I/O left on this path is the owner-layout NVMe
+        write-through of :meth:`ParameterPartitioner.update_shard`; a fault
+        inside the commit window is not replayable (some shards may already
+        be promoted), so it escalates honestly instead of pretending the
+        step can be retried bit-identically.
+        """
+        try:
+            for fn in self.commits:
+                fn()
+        except (OSError, MemoryError) as err:
+            get_registry().counter("faults.step_unrecoverable").inc()
+            raise FaultUnrecoverable(
+                f"optimizer commit died mid-promotion: {err}",
+                site="optimizer.commit",
+                kind=type(err).__name__,
+            ) from err
+        self.commits.clear()
+        self.shadows.clear()
 
 
 class ZeroPartitionedAdam:
@@ -80,6 +195,11 @@ class ZeroPartitionedAdam:
         self.grad_clip = grad_clip
         self._refs: dict[tuple[int, int], _ShardRef] = {}
         self._initialized = False
+        # Delayed parameter update: harvested gradient shards owed one
+        # optimizer step, keyed (param.unique_id, rank), plus the loss
+        # scale they were produced under.
+        self._pending_grads: Optional[dict[tuple[int, int], np.ndarray]] = None
+        self._pending_scale: float = 1.0
 
     # --- layout helpers -----------------------------------------------------------
     @property
@@ -111,7 +231,7 @@ class ZeroPartitionedAdam:
     def _grad_shard_fp32(self, param: Parameter, rank: int) -> np.ndarray:
         """The gradient shard rank ``r`` owns, as fp32."""
         if self.config.stage >= ZeroStage.GRADIENTS:
-            g = self.offload.fetch(f"p{param.unique_id}.r{rank}.grad16", rank=rank)
+            g = self.offload.fetch(grad_shard_key(param, rank), rank=rank)
         else:
             if param.grad is None:
                 raise RuntimeError(
@@ -126,11 +246,38 @@ class ZeroPartitionedAdam:
                 g[: hi - lo] = flat[lo:hi]
         return g.astype(np.float32)
 
-    def _writeback_param_shard(
-        self, param: Parameter, rank: int, master: np.ndarray
+    def _stage_param_writeback(
+        self, param: Parameter, rank: int, master: np.ndarray, txn: _StepTxn
     ) -> None:
-        """Cast the updated master shard to fp16 and install it."""
-        fp16 = master.astype(param.zero_meta.np_dtype if param.zero_meta else param.data.dtype)
+        """Cast the updated master shard to fp16 and stage its install.
+
+        Bandwidth-centric NVMe shards stream through a shadow record like
+        the optimizer state; everything else is a pure memory install that
+        rides the commit phase.
+        """
+        fp16 = master.astype(
+            param.zero_meta.np_dtype if param.zero_meta else param.data.dtype
+        )
+        meta = param.zero_meta
+        if (
+            meta is not None
+            and meta.owner_rank is None
+            and self.config.offload.param_device is OffloadDevice.NVME
+        ):
+            key = f"p{param.unique_id}.r{rank}.param16"
+            req = self.offload.stage_nvme(key, fp16, rank=rank)
+            txn.shadows.append(key)
+            txn.stage_write(req, owner=key)
+            txn.commits.append(lambda k=key: self.offload.promote_staged(k))
+            return
+        txn.commits.append(
+            lambda p=param, r=rank, a=fp16: self._install_param_shard(p, r, a)
+        )
+
+    def _install_param_shard(
+        self, param: Parameter, rank: int, fp16: np.ndarray
+    ) -> None:
+        """Commit-phase install of one updated fp16 parameter shard."""
         if param.zero_meta is not None:
             self.partitioner.update_shard(param, rank, fp16)
         else:
@@ -145,6 +292,20 @@ class ZeroPartitionedAdam:
             if rank == self.world - 1:
                 self.comm.stats.record("allgather", param.nbytes)
 
+    def _install_states(
+        self,
+        ref: _ShardRef,
+        master: np.ndarray,
+        exp_avg: np.ndarray,
+        exp_avg_sq: np.ndarray,
+        rank: int,
+    ) -> None:
+        """Commit-phase install of one shard's updated in-memory state."""
+        device = self.config.offload.optimizer_device
+        self.offload.stash(ref.master, master, device, rank=rank)
+        self.offload.stash(ref.exp_avg, exp_avg, device, rank=rank)
+        self.offload.stash(ref.exp_avg_sq, exp_avg_sq, device, rank=rank)
+
     # --- state lifecycle ------------------------------------------------------------
     def initialize_states(self) -> None:
         """Create fp32 master/momentum/variance shards from current params."""
@@ -155,7 +316,7 @@ class ZeroPartitionedAdam:
                     master=f"p{param.unique_id}.r{rank}.master",
                     exp_avg=f"p{param.unique_id}.r{rank}.exp_avg",
                     exp_avg_sq=f"p{param.unique_id}.r{rank}.exp_avg_sq",
-                    grad=f"p{param.unique_id}.r{rank}.grad16",
+                    grad=grad_shard_key(param, rank),
                 )
                 master = self._param_shard_fp32(param, rank)
                 zeros = np.zeros_like(master)
@@ -195,6 +356,27 @@ class ZeroPartitionedAdam:
                 total += float(np.square(g).sum())
         return float(np.sqrt(total)) / grad_scale
 
+    def _clipped_scale(
+        self,
+        grad_scale: float,
+        grads: Optional[dict[tuple[int, int], np.ndarray]] = None,
+    ) -> float:
+        """Fold gradient clipping into ``grad_scale`` (uniform multipliers).
+
+        When ``grads`` is given (a harvested delayed-update set) the norm is
+        computed over those in-memory shards instead of re-fetching.
+        """
+        if self.grad_clip is None:
+            return grad_scale
+        if grads is None:
+            norm = self.global_grad_norm(grad_scale=grad_scale)
+        else:
+            total = sum(float(np.square(g).sum()) for g in grads.values())
+            norm = float(np.sqrt(total)) / grad_scale
+        if norm > self.grad_clip:
+            grad_scale = grad_scale * norm / self.grad_clip
+        return grad_scale
+
     # --- the step -----------------------------------------------------------------
     def step(self, *, grad_scale: float = 1.0) -> None:
         """One partitioned Adam step over every (param, rank) shard.
@@ -205,32 +387,135 @@ class ZeroPartitionedAdam:
         """
         if not self._initialized:
             self.initialize_states()
-        if self.grad_clip is not None:
-            norm = self.global_grad_norm(grad_scale=grad_scale)
-            if norm > self.grad_clip:
-                grad_scale = grad_scale * norm / self.grad_clip
+        grad_scale = self._clipped_scale(grad_scale)
+        self._transactional_step(grad_scale, grads=None, lr=self.lr)
+
+    def delayed_step(
+        self, *, grad_scale: float = 1.0, defer_current: bool = True
+    ) -> None:
+        """One delayed-update step (ZeRO-Offload's DPU schedule).
+
+        Harvests this step's gradient shards into memory, applies the
+        *previous* step's deferred update with ``lr * scale_delayed_lr``,
+        then installs the harvest as the new pending update.  The install
+        is pure memory movement and only happens after the fallible apply
+        either committed or rolled back, so a fault anywhere in the
+        sequence leaves both the primaries and the pending set consistent
+        and the step replayable.
+
+        ``defer_current=False`` (the overflow-skip path) applies the
+        pending update without harvesting: the current step's gradients
+        are garbage, but the previous step's update is already owed.
+        """
+        if not self._initialized:
+            self.initialize_states()
+        incoming: Optional[dict[tuple[int, int], np.ndarray]] = None
+        if defer_current:
+            incoming = {
+                (p.unique_id, r): self._grad_shard_fp32(p, r)
+                for p in self.params
+                for r in range(self.world)
+            }
+        if self._pending_grads is not None:
+            scale = self._clipped_scale(self._pending_scale, self._pending_grads)
+            self._transactional_step(
+                scale,
+                grads=self._pending_grads,
+                lr=self.lr * self.config.scale_delayed_lr,
+            )
+            self._pending_grads = None
+        if defer_current:
+            self._pending_grads = incoming
+            self._pending_scale = grad_scale
+
+    def flush_delayed(self) -> bool:
+        """Apply the deferred update still owed (end of training / eval).
+
+        Returns True when a pending update was applied.
+        """
+        if self._pending_grads is None:
+            return False
+        scale = self._clipped_scale(self._pending_scale, self._pending_grads)
+        self._transactional_step(
+            scale,
+            grads=self._pending_grads,
+            lr=self.lr * self.config.scale_delayed_lr,
+        )
+        self._pending_grads = None
+        return True
+
+    def _transactional_step(
+        self,
+        grad_scale: float,
+        *,
+        grads: Optional[dict[tuple[int, int], np.ndarray]],
+        lr: float,
+    ) -> None:
+        """Shadow-write every update, then commit with infallible installs.
+
+        Phase A (fallible): per-shard Adam updates run with every NVMe
+        write targeting a ``.pipe`` shadow record and every in-memory
+        install deferred; the phase ends with the commit-barrier drain of
+        outstanding shadow writes.  A recoverable fault rolls the step back
+        — shadows deleted, ``step`` counters restored — and re-raises for
+        the engine's replay tier.
+
+        Phase B (infallible): shadows are promoted over the primaries via
+        ``os.replace`` and the deferred memory installs run; no fault-plane
+        hook fires on this path.
+        """
         device = self.config.offload.optimizer_device
         chunk = self.config.offload.optimizer_chunk_numel
-        for param in self.params:
-            for rank in range(self.world):
-                ref = self._refs[(param.unique_id, rank)]
-                ref.step += 1
-                if (
-                    device is OffloadDevice.NVME
-                    and self._shard_numel(param) > chunk
-                ):
-                    self._chunked_nvme_step(param, rank, ref, grad_scale)
-                else:
-                    self._resident_step(param, rank, ref, grad_scale)
+        txn = _StepTxn(self.config.offload.optimizer_pipeline)
+        step_snapshot = {key: ref.step for key, ref in self._refs.items()}
+        try:
+            for param in self.params:
+                for rank in range(self.world):
+                    ref = self._refs[(param.unique_id, rank)]
+                    ref.step += 1
+                    grad = (
+                        grads[(param.unique_id, rank)]
+                        if grads is not None
+                        else None
+                    )
+                    if (
+                        device is OffloadDevice.NVME
+                        and self._shard_numel(param) > chunk
+                    ):
+                        self._chunked_nvme_step(
+                            param, rank, ref, grad_scale, grad, lr, txn
+                        )
+                    else:
+                        self._resident_step(
+                            param, rank, ref, grad_scale, grad, lr, txn
+                        )
+            txn.drain_writes()
+        except (OSError, MemoryError):
+            for key, step in step_snapshot.items():
+                self._refs[key].step = step
+            txn.rollback(self.offload)
+            raise
+        txn.commit()
 
     def _resident_step(
-        self, param: Parameter, rank: int, ref: _ShardRef, grad_scale: float
+        self,
+        param: Parameter,
+        rank: int,
+        ref: _ShardRef,
+        grad_scale: float,
+        grad: Optional[np.ndarray],
+        lr: float,
+        txn: _StepTxn,
     ) -> None:
         device = self.config.offload.optimizer_device
         master = self.offload.fetch(ref.master, rank=rank)
         exp_avg = self.offload.fetch(ref.exp_avg, rank=rank)
         exp_avg_sq = self.offload.fetch(ref.exp_avg_sq, rank=rank)
-        grad = self._grad_shard_fp32(param, rank)
+        if grad is None:
+            grad = self._grad_shard_fp32(param, rank)
+        else:
+            # the harvested pending set must survive a rollback + replay
+            grad = grad.copy()
         if grad_scale != 1.0:
             grad /= grad_scale
         adam_step(
@@ -239,35 +524,71 @@ class ZeroPartitionedAdam:
             exp_avg,
             exp_avg_sq,
             step=ref.step,
-            lr=self.lr,
+            lr=lr,
             beta1=self.beta1,
             beta2=self.beta2,
             eps=self.eps,
             weight_decay=self.weight_decay,
         )
-        self.offload.stash(ref.master, master, device, rank=rank)
-        self.offload.stash(ref.exp_avg, exp_avg, device, rank=rank)
-        self.offload.stash(ref.exp_avg_sq, exp_avg_sq, device, rank=rank)
-        self._writeback_param_shard(param, rank, master)
+        if device is OffloadDevice.NVME:
+            updated = {"master": master, "exp_avg": exp_avg, "exp_avg_sq": exp_avg_sq}
+            for kind in self.STATE_KINDS:
+                key = getattr(ref, kind)
+                req = self.offload.stage_nvme(key, updated[kind], rank=rank)
+                txn.shadows.append(key)
+                txn.stage_write(req, owner=key)
+                txn.commits.append(lambda k=key: self.offload.promote_staged(k))
+        else:
+            txn.commits.append(
+                lambda r=ref, m=master, a=exp_avg, v=exp_avg_sq, rk=rank: (
+                    self._install_states(r, m, a, v, rk)
+                )
+            )
+        self._stage_param_writeback(param, rank, master, txn)
 
     def _chunked_nvme_step(
-        self, param: Parameter, rank: int, ref: _ShardRef, grad_scale: float
+        self,
+        param: Parameter,
+        rank: int,
+        ref: _ShardRef,
+        grad_scale: float,
+        grad: Optional[np.ndarray],
+        lr: float,
+        txn: _StepTxn,
     ) -> None:
         """Stream the shard through bounded buffers with read-ahead.
 
         Reads of chunk ``i+1`` are issued before the update of chunk ``i``
-        runs, so NVMe reads overlap CPU compute; state write-backs of chunk
-        ``i`` overlap the read/compute of chunk ``i+1``.
+        runs, so NVMe reads overlap CPU compute; updated chunks stream into
+        the shard's shadow records, overlapping the read/compute of later
+        chunks, and the shadows are promoted at commit.  With
+        ``optimizer_pipeline`` off the same chunks run the serial reference
+        schedule: no read-ahead, every write awaited inline.
         """
         store = self.offload.store
         assert store is not None
         sn = self._shard_numel(param)
         chunk = self.config.offload.optimizer_chunk_numel
         spans = [(o, min(chunk, sn - o)) for o in range(0, sn, chunk)]
-        grad_full = self._grad_shard_fp32(param, rank)
+        if grad is None:
+            grad_full = self._grad_shard_fp32(param, rank)
+        else:
+            # the harvested pending set must survive a rollback + replay
+            grad_full = grad.copy()
         if grad_scale != 1.0:
             grad_full /= grad_scale
         updated_fp16 = np.empty(sn, dtype=param.zero_meta.np_dtype if param.zero_meta else np.float16)
+
+        # open shadow records beside the primaries: the streamed writes
+        # land there, so a mid-shard fault leaves the live state untouched
+        for kind in self.STATE_KINDS:
+            key = getattr(ref, kind)
+            shape, dtype, _ = store.meta(key)
+            store.create(shadow_key(key), shape, dtype)
+            txn.shadows.append(key)
+            txn.commits.append(lambda k=key: self.offload.promote_staged(k))
+
+        pending_reads: list = []  # submission-ordered, not yet awaited
 
         def start_reads(off: int, n: int):
             bufs = {}
@@ -277,56 +598,75 @@ class ZeroPartitionedAdam:
                 out, req = store.read_range(key, off, n)
                 bufs[kind] = out
                 reqs.append(req)
+            pending_reads.extend(reqs)
             return bufs, reqs
 
-        pending_writes: list = []
-        cur = start_reads(*spans[0])
-        for i, (off, n) in enumerate(spans):
-            nxt = start_reads(*spans[i + 1]) if i + 1 < len(spans) else None
-            bufs, reqs = cur
-            # the update cannot start until this chunk's state reads land;
-            # with read-ahead working this wait is ~0, so its duration IS
-            # the unhidden optimizer I/O tail for the chunk
-            with stall_span(
-                "optimizer_io_tail",
-                owner=f"p{param.unique_id}.r{rank}.chunk{i}",
-                kind="read",
-                req=getattr(reqs[-1], "token", None),
-            ):
-                for req in reqs:
-                    req.wait()
-            adam_step(
-                bufs["master"],
-                grad_full[off : off + n],
-                bufs["exp_avg"],
-                bufs["exp_avg_sq"],
-                step=ref.step,
-                lr=self.lr,
-                beta1=self.beta1,
-                beta2=self.beta2,
-                eps=self.eps,
-                weight_decay=self.weight_decay,
-            )
-            for kind in self.STATE_KINDS:
-                pending_writes.append(
-                    store.write_range(getattr(ref, kind), off, bufs[kind])
+        cur = start_reads(*spans[0]) if txn.pipelined else None
+        try:
+            for i, (off, n) in enumerate(spans):
+                if txn.pipelined:
+                    nxt = (
+                        start_reads(*spans[i + 1])
+                        if i + 1 < len(spans)
+                        else None
+                    )
+                    bufs, reqs = cur
+                else:
+                    # serial oracle: issue and drain each chunk's reads inline
+                    nxt = None
+                    bufs, reqs = start_reads(off, n)
+                # the update cannot start until this chunk's state reads
+                # land; with read-ahead working this wait is ~0, so its
+                # duration IS the unhidden optimizer I/O tail for the chunk
+                with stall_span(
+                    "optimizer_io_tail",
+                    owner=f"p{param.unique_id}.r{rank}.chunk{i}",
+                    kind="read",
+                    req=getattr(reqs[-1], "token", None),
+                ):
+                    for req in reqs:
+                        req.wait()
+                # waits run in submission order, so these are the oldest
+                del pending_reads[: len(reqs)]
+                adam_step(
+                    bufs["master"],
+                    grad_full[off : off + n],
+                    bufs["exp_avg"],
+                    bufs["exp_avg_sq"],
+                    step=ref.step,
+                    lr=lr,
+                    beta1=self.beta1,
+                    beta2=self.beta2,
+                    eps=self.eps,
+                    weight_decay=self.weight_decay,
                 )
-            updated_fp16[off : off + n] = bufs["master"].astype(updated_fp16.dtype)
-            self.offload.counters.nvme_read_bytes += sum(
-                b.nbytes for b in bufs.values()
-            )
-            self.offload.counters.nvme_write_bytes += sum(
-                b.nbytes for b in bufs.values()
-            )
-            if nxt is not None:
-                cur = nxt
-        if pending_writes:
-            with stall_span(
-                "optimizer_io_tail",
-                owner=f"p{param.unique_id}.r{rank}",
-                kind="write_tail",
-                req=getattr(pending_writes[-1], "token", None),
-            ):
-                for req in pending_writes:
+                for kind in self.STATE_KINDS:
+                    wreq = store.write_range(
+                        shadow_key(getattr(ref, kind)), off, bufs[kind]
+                    )
+                    txn.stage_write(
+                        wreq, owner=f"p{param.unique_id}.r{rank}.chunk{i}"
+                    )
+                updated_fp16[off : off + n] = bufs["master"].astype(
+                    updated_fp16.dtype
+                )
+                self.offload.counters.nvme_read_bytes += sum(
+                    b.nbytes for b in bufs.values()
+                )
+                self.offload.counters.nvme_write_bytes += sum(
+                    b.nbytes for b in bufs.values()
+                )
+                if nxt is not None:
+                    cur = nxt
+        except (OSError, MemoryError):
+            # read-ahead requests still in flight write only into their own
+            # staging buffers, but they must land before those buffers are
+            # released to the step rollback; the step is already dead, so
+            # secondary failures are counted, not raised
+            for req in pending_reads:
+                try:
                     req.wait()
-        self._writeback_param_shard(param, rank, updated_fp16.astype(np.float32))
+                except (OSError, MemoryError):
+                    get_registry().counter("faults.aborted_reads").inc()
+            raise
+        self._stage_param_writeback(param, rank, updated_fp16.astype(np.float32), txn)

@@ -39,6 +39,18 @@ def _crc32(array: np.ndarray) -> int:
     return zlib.crc32(memoryview(array).cast("B")) & 0xFFFFFFFF
 
 
+#: Key suffix of the shadow (double-buffer) record a transactional writer
+#: streams into before :meth:`TensorStore.promote` renames it onto the
+#: primary.  The suffix keeps shadow files beside their primaries in the
+#: spool directory and out of every primary key's namespace.
+SHADOW_SUFFIX = ".pipe"
+
+
+def shadow_key(key: str) -> str:
+    """The double-buffer key a transactional update of ``key`` writes to."""
+    return key + SHADOW_SUFFIX
+
+
 @dataclass(frozen=True, slots=True)
 class _Record:
     path: str
@@ -394,6 +406,66 @@ class TensorStore:
         return self.engine.submit_write(
             rec.path, arr, file_offset=start_numel * rec.dtype.itemsize
         )
+
+    def create(
+        self, key: str, shape: tuple[int, ...], dtype: np.dtype
+    ) -> None:
+        """Register an empty record sized for ranged writes (no data I/O).
+
+        Pre-sizes the backing file so ``write_range`` calls can land
+        anywhere in it; the CRC starts unknown (ranged writers never
+        maintain one).  The double-buffered optimizer pipeline uses this to
+        open a shadow record beside the live one before streaming into it.
+        """
+        dt = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        numel = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        path = self._path_for(key)
+        rec = _Record(path, shape, dt, numel * dt.itemsize, None)
+        with open(path, "wb") as f:
+            f.truncate(rec.nbytes)
+        with self._lock:
+            old = self._records.get(key)
+            self._records[key] = rec
+        scope = get_memscope()
+        if scope.enabled:
+            category, owner = attribution_for_key(key)
+            if old is not None:
+                scope.free("nvme", old.nbytes, category=category, owner=owner)
+            scope.alloc("nvme", rec.nbytes, category=category, owner=owner)
+
+    def promote(self, src_key: str, dst_key: str) -> None:
+        """Atomically publish ``src_key``'s bytes as ``dst_key``.
+
+        The commit half of a double-buffered update: the fully written
+        shadow file is renamed over the primary's path (``os.replace``,
+        atomic within the spool directory) and the metadata moves with it.
+        No data I/O happens here and no state can be observed half-updated
+        — before the rename the primary holds the old bytes, after it the
+        new — which is what makes a transactional optimizer step
+        replayable (docs/resilience.md).
+        """
+        with self._lock:
+            try:
+                src = self._records[src_key]
+            except KeyError as e:
+                raise KeyError(f"tensor {src_key!r} not in store") from e
+        dst_path = self._path_for(dst_key)
+        os.replace(src.path, dst_path)
+        with self._lock:
+            self._records.pop(src_key, None)
+            old = self._records.get(dst_key)
+            self._records[dst_key] = _Record(
+                dst_path, src.shape, src.dtype, src.nbytes, src.crc
+            )
+        scope = get_memscope()
+        if scope.enabled:
+            category, owner = attribution_for_key(src_key)
+            scope.free("nvme", src.nbytes, category=category, owner=owner)
+            category, owner = attribution_for_key(dst_key)
+            if old is not None:
+                scope.free("nvme", old.nbytes, category=category, owner=owner)
+            scope.alloc("nvme", src.nbytes, category=category, owner=owner)
 
     def invalidate_checksum(self, key: str) -> None:
         """Drop the whole-record CRC after an in-place ranged update.

@@ -207,6 +207,26 @@ def _overlap_len(a: float, b: float, union: list[tuple[float, float]]) -> float:
     return total
 
 
+def _stall_cause(record: SpanRecord) -> str:
+    """Cause name of a stall span (``stall:`` prefix stripped)."""
+    if record.name.startswith(_STALL_PREFIX):
+        return record.name[len(_STALL_PREFIX):]
+    return record.name
+
+
+def _stall_priority(record: SpanRecord) -> tuple[int, float]:
+    """Sort key picking which of several overlapping stalls gets billed.
+
+    A ``pinned_wait`` names a resource shortage (the pinned staging pool),
+    not an I/O latency: when one shows up nested inside an I/O drain —
+    e.g. a pinned acquire inside the chunked optimizer read drain — the
+    pool is what the lane is actually waiting on, so it outranks every
+    latency-shaped cause regardless of span duration.  Ties and the
+    remaining causes fall back to the innermost (shortest) span.
+    """
+    return (0 if _stall_cause(record) == "pinned_wait" else 1, record.dur_us)
+
+
 def _build_step_ledger(
     step: SpanRecord, records: list[SpanRecord]
 ) -> StepLedger:
@@ -267,11 +287,14 @@ def _build_step_ledger(
             r for r in active if classify_span(r.name, r.cat) == STALL
         ]
         if stalls_active:
-            # stalls win over whatever they wrap; innermost stall names it
-            inner = min(stalls_active, key=lambda r: r.dur_us)
-            cause = inner.name[len(_STALL_PREFIX):] if inner.name.startswith(
-                _STALL_PREFIX
-            ) else inner.name
+            # stalls win over whatever they wrap; the innermost stall names
+            # it, except that a pinned-pool acquire nested inside an I/O
+            # drain is the *real* bottleneck — without the priority a
+            # pinned_wait inside the chunked-read drain would be billed to
+            # optimizer_io_tail whenever the outer span happens to be
+            # shorter-lived at this segment
+            inner = min(stalls_active, key=_stall_priority)
+            cause = _stall_cause(inner)
             owner = str(inner.args.get("owner", ""))
             segments.append(
                 Segment(a, b, STALL, inner.name, cause, owner, dict(inner.args))

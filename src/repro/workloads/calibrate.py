@@ -45,6 +45,14 @@ class CalibSpec:
     bsz_per_rank: int = 2
     vocab: int = 64
     check: Optional[str] = None  # checker spec, e.g. "all"
+    # optimizer-pipeline knobs (ISSUE 10): delayed parameter update, its
+    # staleness-correction multiplier, the double-buffered streaming
+    # schedule (False = serial oracle), and an optional chunk-size override
+    # so small calibration shards still exercise the chunked NVMe path
+    delayed_update: bool = False
+    scale_delayed_lr: float = 1.0
+    optimizer_pipeline: bool = True
+    chunk_numel: Optional[int] = None
 
 
 @dataclass
@@ -100,13 +108,21 @@ def build_engine(spec: CalibSpec, *, comm_backend: Optional[CommBackend] = None)
     # parameters can only be offloaded once they are partitioned (stage 3);
     # below that the device applies to gradients and optimizer state only
     param_dev = dev if spec.stage >= 3 else OffloadDevice.NONE
+    offload_kw = {"optimizer_pipeline": spec.optimizer_pipeline}
+    if spec.chunk_numel is not None:
+        offload_kw["optimizer_chunk_numel"] = spec.chunk_numel
     zero_cfg = ZeroConfig(
         world_size=spec.world,
         stage=ZeroStage(spec.stage),
         offload=OffloadConfig(
-            param_device=param_dev, grad_device=dev, optimizer_device=dev
+            param_device=param_dev,
+            grad_device=dev,
+            optimizer_device=dev,
+            **offload_kw,
         ),
         loss_scale=1.0,
+        delayed_update=spec.delayed_update,
+        scale_delayed_lr=spec.scale_delayed_lr,
         **({"check": check_cfg} if check_cfg is not None else {}),
     )
     return ZeroInfinityEngine(
@@ -159,6 +175,9 @@ def run_training(
             result = engine.train_step(next(data))
             losses.append(list(result.losses))
         wall = time.perf_counter() - t0
+        # delayed mode still owes the last step's update; apply it before
+        # the state gather so digests compare like-for-like
+        engine.flush_delayed_update()
         transport = {}
         backend = engine.comm.backend
         if hasattr(backend, "transport_stats"):
@@ -245,6 +264,70 @@ def measure_mp_speedup(
         "target_speedup": MP_TARGET_SPEEDUP,
         "bit_identical": True,
         "transport": dict(mp_run.transport),
+    }
+
+
+#: BENCH_optpipe.json target: pipelined mode must cut the optimizer I/O
+#: tail by at least this fraction versus the serial reference schedule.
+OPTPIPE_TAIL_TARGET = 0.30
+
+
+def measure_opt_pipeline(*, spec: Optional[CalibSpec] = None) -> dict:
+    """Serial vs pipelined chunked optimizer on the NVMe preset.
+
+    The ``BENCH_optpipe.json`` body: runs the same NVMe workload twice —
+    ``optimizer_pipeline`` off (the serial reference schedule) and on (the
+    double-buffered stream) — under a tracer, asserts the two runs are
+    bit-identical, and reports the ``optimizer_io_tail`` stall time of
+    each.  ``steps_per_s`` is the *serial* run's throughput, so the perf
+    gate's ratchet guards against regressing the pipeline-off path.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.obs.perfscope import build_step_ledgers, summarize_ledgers
+    from repro.obs.tracer import Tracer, use_tracer
+
+    spec = spec or CalibSpec(
+        world=2,
+        steps=3,
+        stage=3,
+        offload="nvme",
+        hidden=64,
+        seq=16,
+        bsz_per_rank=4,
+        chunk_numel=2048,
+    )
+
+    def timed(pipelined: bool) -> tuple[CalibRun, float]:
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            run = run_training(_replace(spec, optimizer_pipeline=pipelined))
+        summary = summarize_ledgers(build_step_ledgers(tracer))
+        tail = summary.stall_us_by_cause.get("optimizer_io_tail", 0.0)
+        return run, tail
+
+    serial, tail_serial = timed(False)
+    piped, tail_piped = timed(True)
+    if piped.numerics() != serial.numerics():
+        raise AssertionError(
+            "pipelined optimizer diverged from the serial oracle; an I/O"
+            " overlap over wrong numerics is meaningless"
+        )
+    reduction = (
+        1.0 - tail_piped / tail_serial if tail_serial > 0 else 0.0
+    )
+    return {
+        "world": spec.world,
+        "steps": spec.steps,
+        "chunk_numel": spec.chunk_numel,
+        # the perf gate ratchets this field (>= 0.4x committed baseline)
+        "steps_per_s": serial.steps_per_s,
+        "steps_per_s_pipelined": piped.steps_per_s,
+        "tail_us_serial": tail_serial,
+        "tail_us_pipelined": tail_piped,
+        "tail_reduction": reduction,
+        "target_reduction": OPTPIPE_TAIL_TARGET,
+        "bit_identical": True,
     }
 
 

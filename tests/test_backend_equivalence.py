@@ -128,6 +128,55 @@ def test_equivalence_under_full_checkers(monkeypatch):
     assert mp_run.numerics() == oracle.numerics()
 
 
+OPT_PIPELINE_CELLS = [
+    # chunked NVMe stream with the double-buffered pipeline on (tiny
+    # chunk so the calibration shards actually stream), delayed update,
+    # and both combined
+    pytest.param(
+        CalibSpec(world=2, steps=2, stage=3, offload="nvme", chunk_numel=512),
+        id="pipelined-chunked",
+    ),
+    pytest.param(
+        CalibSpec(world=2, steps=2, stage=3, offload="nvme", delayed_update=True),
+        id="delayed-nvme",
+    ),
+    pytest.param(
+        CalibSpec(world=4, steps=2, stage=2, offload="cpu", delayed_update=True,
+                  scale_delayed_lr=0.9),
+        id="delayed-scaled-cpu",
+    ),
+    pytest.param(
+        CalibSpec(world=2, steps=2, stage=3, offload="nvme", chunk_numel=512,
+                  delayed_update=True),
+        id="delayed-pipelined-chunked",
+    ),
+]
+
+
+@pytest.mark.mp
+@pytest.mark.parametrize("spec", OPT_PIPELINE_CELLS)
+def test_opt_pipeline_cells_bit_identical(spec):
+    """Delayed/pipelined optimizer modes stay loop<->mp bit-identical."""
+    oracle = run_training(spec)
+    mp_run, _ = run_mp_training(spec)
+    assert mp_run.numerics() == oracle.numerics()
+
+
+@pytest.mark.mp
+def test_opt_pipeline_equivalence_under_full_checkers(monkeypatch):
+    """The pipelined chunked step under REPRO_CHECK=all: shadow-record
+    staging and the commit barrier must satisfy every lifecycle/ordering/
+    aio-race rule in both backends, with identical numerics."""
+    monkeypatch.setenv("REPRO_CHECK", "all")
+    spec = CalibSpec(
+        world=2, steps=2, stage=3, offload="nvme", chunk_numel=512,
+        delayed_update=True, check="all",
+    )
+    oracle = run_training(spec)
+    mp_run, _ = run_mp_training(spec)
+    assert mp_run.numerics() == oracle.numerics()
+
+
 @pytest.mark.mp
 def test_mp_transport_traffic_not_in_commstats():
     """Exchange/rendezvous traffic is transport, not simulated collectives:

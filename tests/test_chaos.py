@@ -125,18 +125,27 @@ BOTH = (ZeroStage.GRADIENTS, ZeroStage.PARAMETERS)
 FAULT_CASES = [
     ("io-read-retry", "io_error@aio.read:times=2", BOTH),
     ("io-write-retry", "io_error@aio.write:times=2", BOTH),
-    # exceeds the per-call aio budget in the forward fetch -> step replay
-    # (stage 3 only: stage 2's first reads are mid-optimizer, where an
-    # exhausted read budget escalates to FaultUnrecoverable by design)
-    ("read-storm", "io_error@aio.read:times=6", (ZeroStage.PARAMETERS,)),
+    # exceeds the per-call aio budget -> step replay.  Under stage 2 the
+    # first reads of the storm land mid-optimizer; the transactional step
+    # (shadow writes + rollback) makes those replayable too, so the storm
+    # recovers on both stages.
+    ("read-storm", "io_error@aio.read:times=6", BOTH),
     ("bit-flip", "bit_flip@aio.read:times=1", BOTH),
     ("torn-grad-write", "torn_write@store.commit:times=1,key=grad16", BOTH),
+    # optimizer-phase faults: injected into the chunked optimizer stream's
+    # shadow writes and the small-shard state commits; the transaction
+    # rolls the step back and the replay tier absorbs the fault
+    ("opt-write-storm", "io_error@aio.write:times=6", BOTH),
+    ("torn-opt-write", "torn_write@store.commit:times=1,key=master", BOTH),
+    ("opt-slow", "slow@aio.write:p=0.4,delay_us=300", BOTH),
     ("pinned-squeeze", "pinned_exhaustion@pool.acquire:times=3", BOTH),
     ("slow-disk", "slow@aio.read:p=0.3,delay_us=200", BOTH),
     ("straggler", "straggler@rank.begin:rank=0,delay_us=1000,times=2", BOTH),
 ]
 
-FAST_SMOKE_FAULTS = {"io-read-retry", "bit-flip"}  # stage-2 fast subset
+# stage-2 / cpu fast subset; opt-write-storm keeps one optimizer-phase
+# fault in every tier-1 run
+FAST_SMOKE_FAULTS = {"io-read-retry", "bit-flip", "opt-write-storm"}
 
 
 def matrix():
@@ -222,6 +231,24 @@ class TestRecoverableMatrix:
         assert_bit_identical(state, ref_state, losses, ref_losses)
         assert 1 <= rep.step_retries <= 3
 
+    @pytest.mark.parametrize(
+        "stage", [ZeroStage.GRADIENTS, ZeroStage.PARAMETERS]
+    )
+    def test_optimizer_write_storm_triggers_step_replay(self, stage):
+        """An exhausted write budget mid-optimizer rolls the transactional
+        step back and rides the same replay tier as forward/backward
+        faults — the PR-5 escalation carve-out is gone."""
+        ref_losses, ref_state = baseline(stage, 2, "nvme")
+        losses, state, rep = run_training(
+            stage,
+            2,
+            "nvme",
+            faults="io_error@aio.write:times=6",
+            step_retries=3,
+        )
+        assert_bit_identical(state, ref_state, losses, ref_losses)
+        assert 1 <= rep.step_retries <= 3
+
 
 class TestUnrecoverable:
     def test_persistent_corruption_is_one_structured_error(self):
@@ -263,7 +290,8 @@ class TestSanitizedChaos:
         spec = (
             "io_error@aio.read:times=2;"
             "pinned_exhaustion@pool.acquire:times=1;"
-            "bit_flip@aio.read:at=7"
+            "bit_flip@aio.read:at=7;"
+            "io_error@aio.write:times=3"
         )
         with use_checker(CheckConfig.from_spec("all", mode="record")) as ctx:
             losses, state, rep = run_training(

@@ -426,3 +426,81 @@ class TestClassify:
         assert rec.cat == "stall"
         assert rec.args["owner"] == "bucket0"
         assert rec.args["numel"] == 8
+
+
+# --- stall attribution priority ----------------------------------------------
+class TestStallAttributionPriority:
+    """Overlapping stalls: ``pinned_wait`` names a resource shortage, so it
+    must win the billing over latency-shaped causes wrapping it — the
+    chunked optimizer read drain used to swallow nested pinned-pool
+    acquires into ``optimizer_io_tail``."""
+
+    @staticmethod
+    def ledger(spans):
+        from repro.obs.perfscope import _build_step_ledger
+        from repro.obs.tracer import SpanRecord
+
+        def rec(name, cat, ts, dur, **args):
+            return SpanRecord(
+                name=name, cat=cat, ts_us=ts, dur_us=dur, tid=0,
+                thread="main", args=args,
+            )
+
+        step = rec("engine:step", "engine", 0.0, 100.0)
+        records = [step] + [
+            rec(f"stall:{cause}", "stall", ts, dur, owner=owner)
+            for cause, ts, dur, owner in spans
+        ]
+        return _build_step_ledger(step, records)
+
+    def test_pinned_wait_nested_inside_drain_wins(self):
+        # the outer read-drain span covers [10, 60); a pinned acquire
+        # inside it covers [20, 40) — the pool, not the disk, is what the
+        # lane waits on there
+        led = self.ledger(
+            [
+                ("optimizer_io_tail", 10.0, 50.0, "p1.r0.chunk0"),
+                ("pinned_wait", 20.0, 20.0, "pool"),
+            ]
+        )
+        by_cause = led.stall_us_by_cause()
+        assert by_cause["pinned_wait"] == pytest.approx(20.0)
+        assert by_cause["optimizer_io_tail"] == pytest.approx(30.0)
+
+    def test_pinned_wait_wins_even_when_longer_lived(self):
+        # regression guard for the min-duration tie-break: a pinned span
+        # *longer* than the drain segment it overlaps still takes the
+        # billing — priority, not span length, decides
+        led = self.ledger(
+            [
+                ("pinned_wait", 10.0, 60.0, "pool"),
+                ("optimizer_io_tail", 20.0, 20.0, "p1.r0.chunk1"),
+            ]
+        )
+        by_cause = led.stall_us_by_cause()
+        assert by_cause["pinned_wait"] == pytest.approx(60.0)
+        assert "optimizer_io_tail" not in by_cause
+
+    def test_non_pinned_overlap_keeps_innermost(self):
+        # without a pinned_wait in play the innermost (shortest) stall
+        # still names the segment
+        led = self.ledger(
+            [
+                ("optimizer_io_tail", 10.0, 50.0, "p1.r0"),
+                ("bucket_flush_wait", 20.0, 10.0, "bucket0"),
+            ]
+        )
+        by_cause = led.stall_us_by_cause()
+        assert by_cause["bucket_flush_wait"] == pytest.approx(10.0)
+        assert by_cause["optimizer_io_tail"] == pytest.approx(40.0)
+
+    def test_exact_tie_prefers_pinned_wait(self):
+        led = self.ledger(
+            [
+                ("optimizer_io_tail", 10.0, 20.0, "p1.r0.chunk2"),
+                ("pinned_wait", 10.0, 20.0, "pool"),
+            ]
+        )
+        by_cause = led.stall_us_by_cause()
+        assert by_cause["pinned_wait"] == pytest.approx(20.0)
+        assert "optimizer_io_tail" not in by_cause

@@ -17,7 +17,10 @@ not percent-level wobble):
   baseline file (the always-on hooks contract);
 * ``enabled_overhead``  — same, against ``enabled_budget``;
 * ``stall_fraction``    — must stay within ``STALL_ABS_TOL`` (absolute)
-  of the baseline for the fixed bench workload.
+  of the baseline for the fixed bench workload;
+* ``tail_reduction``    — the pipelined optimizer must keep cutting the
+  ``optimizer_io_tail`` stall by at least the committed target fraction
+  (``BENCH_optpipe.json``; a floor, not a drift band).
 
 ``benchmarks/bench_perf_gate.py`` runs the same comparison inside the
 bench suite and persists the table under ``benchmarks/reports/``.
@@ -110,6 +113,12 @@ def measure_mp() -> dict:
     return measure_mp_speedup()
 
 
+def measure_optpipe() -> dict:
+    from repro.workloads.calibrate import measure_opt_pipeline
+
+    return measure_opt_pipeline()
+
+
 def gate_rows(name: str, baseline: dict, measured: dict) -> list[tuple]:
     """(metric, baseline, measured, tolerance description, ok) rows."""
     rows: list[tuple] = []
@@ -147,6 +156,22 @@ def gate_rows(name: str, baseline: dict, measured: dict) -> list[tuple]:
             )
         )
 
+    if "tail_reduction" in baseline and "tail_reduction" in measured:
+        # the optimizer-pipeline contract is a floor, not a drift band:
+        # the pipelined schedule must keep cutting the I/O tail by at
+        # least the committed target fraction
+        target = baseline.get("target_reduction", 0.30)
+        ok = measured["tail_reduction"] >= target
+        rows.append(
+            (
+                f"{name}.tail_reduction",
+                f"{baseline['tail_reduction']:.3f}",
+                f"{measured['tail_reduction']:.3f}",
+                f">= target {target:g}",
+                ok,
+            )
+        )
+
     if "stall_fraction" in baseline and "stall_fraction" in measured:
         drift = abs(measured["stall_fraction"] - baseline["stall_fraction"])
         ok = drift <= STALL_ABS_TOL
@@ -180,6 +205,7 @@ def run_gate(
     targets = [
         ("perfscope", "BENCH_perfscope.json", measure_perfscope),
         ("livetel", "BENCH_livetel.json", measure_livetel),
+        ("optpipe", "BENCH_optpipe.json", measure_optpipe),
     ]
     if not skip_memscope:
         targets.append(("memscope", "BENCH_memscope.json", measure_memscope))
